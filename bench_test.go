@@ -1,0 +1,254 @@
+// Benchmark harness: one benchmark per figure/table of the paper's
+// evaluation (§V) and per extension experiment from DESIGN.md. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark prints the regenerated rows/series once (on the first
+// iteration) so a bench run doubles as the experiment log recorded in
+// EXPERIMENTS.md.
+package repro
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/binding"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/gen"
+	"repro/internal/mrate"
+	"repro/internal/sim"
+	"repro/internal/socp"
+	"repro/internal/srdf"
+)
+
+// printOnce guards the one-time experiment output per benchmark name.
+var printOnce sync.Map
+
+func once(name string, f func()) {
+	if _, loaded := printOnce.LoadOrStore(name, true); !loaded {
+		f()
+	}
+}
+
+// BenchmarkFig2a regenerates Figure 2(a): the budget/buffer trade-off sweep
+// of the producer-consumer graph T1 (10 joint solves per iteration).
+func BenchmarkFig2a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Fig2(core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		once("fig2a", func() { b.Logf("\n%s", experiments.RenderFig2a(points)) })
+	}
+}
+
+// BenchmarkFig2b regenerates Figure 2(b): the derivative of the budget
+// reduction per added container.
+func BenchmarkFig2b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Fig2(core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		once("fig2b", func() { b.Logf("\n%s", experiments.RenderFig2b(points)) })
+	}
+}
+
+// BenchmarkFig3 regenerates Figure 3: topology dependence of the trade-off
+// on the three-task chain T2.
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Fig3(core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		once("fig3", func() { b.Logf("\n%s", experiments.RenderFig3(points)) })
+	}
+}
+
+// BenchmarkPaperInstances measures single joint solves of the paper's two
+// instances — the "run-time is milliseconds" claim. The per-op time IS the
+// reproduced metric.
+func BenchmarkPaperInstances(b *testing.B) {
+	for _, inst := range []struct {
+		name string
+		cap  int
+		t2   bool
+	}{
+		{"T1/cap=1", 1, false},
+		{"T1/cap=10", 10, false},
+		{"T2/cap=1", 1, true},
+		{"T2/cap=10", 10, true},
+	} {
+		b.Run(inst.name, func(b *testing.B) {
+			cfg := gen.PaperT1(inst.cap)
+			if inst.t2 {
+				cfg = gen.PaperT2(inst.cap)
+			}
+			for i := 0; i < b.N; i++ {
+				r, err := core.Solve(cfg, core.Options{})
+				if err != nil || r.Status != core.StatusOptimal {
+					b.Fatalf("%v %v", r.Status, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScalability supports the polynomial-complexity claim: joint solve
+// time for pipelines of growing size.
+func BenchmarkScalability(b *testing.B) {
+	for _, n := range []int{5, 10, 20, 50, 100} {
+		b.Run(fmt.Sprintf("tasks=%d", n), func(b *testing.B) {
+			cfg := gen.Chain(gen.ChainOptions{Tasks: n})
+			for i := 0; i < b.N; i++ {
+				r, err := core.Solve(cfg, core.Options{SkipVerification: true})
+				if err != nil || r.Status != core.StatusOptimal {
+					b.Fatalf("%v %v", r.Status, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkJointVsTwoPhase regenerates the comparison table (experiment A2):
+// false negatives of the classical two-phase flows.
+func BenchmarkJointVsTwoPhase(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.JointVsTwoPhase(core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		once("compare", func() { b.Logf("\n%s", experiments.RenderJointVsTwoPhase(rows)) })
+	}
+}
+
+// BenchmarkAblationRounding regenerates the rounding ablation (experiment
+// A1): relaxed vs rounded vs exhaustive integer optimum.
+func BenchmarkAblationRounding(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationRounding(core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		once("ablation", func() { b.Logf("\n%s", experiments.RenderAblation(rows)) })
+	}
+}
+
+// BenchmarkSolverRaw measures the bare interior-point method on the paper's
+// cap=1 subproblem, isolating solver cost from model construction.
+func BenchmarkSolverRaw(b *testing.B) {
+	bld := socp.NewBuilder()
+	beta := bld.AddVar("beta")
+	lam := bld.AddVar("lambda")
+	bld.SetObjective(beta, 1)
+	bld.AddLE(socp.Expr(80).Plus(-2, beta).Plus(80, lam), socp.Expr(10))
+	bld.AddLE(socp.Expr(0).Plus(40, lam), socp.Expr(10))
+	bld.AddLE(socp.Expr(0).Plus(1, beta), socp.Expr(40))
+	bld.AddProductGE(lam, beta, 1)
+	p, err := bld.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := socp.Solve(p, socp.Options{})
+		if err != nil || sol.Status != socp.StatusOptimal {
+			b.Fatalf("%v %v", sol.Status, err)
+		}
+	}
+}
+
+// BenchmarkLatencyTradeoff regenerates the latency/budget trade-off table
+// (extension: affine latency constraints in the cone program).
+func BenchmarkLatencyTradeoff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.LatencyTradeoff(core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		once("latency", func() { b.Logf("\n%s", experiments.RenderLatencyTradeoff(points)) })
+	}
+}
+
+// BenchmarkPareto regenerates the weight-sweep Pareto frontier of T1.
+func BenchmarkPareto(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := core.ParetoFrontier(gen.PaperT1(0), 13, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(points) < 2 {
+			b.Fatalf("degenerate frontier: %d points", len(points))
+		}
+	}
+}
+
+// BenchmarkBindingSearch measures the exhaustive binding search (extension:
+// the paper's "compute the binding" future work) on the paper's T2.
+func BenchmarkBindingSearch(b *testing.B) {
+	cfg := gen.PaperT2(6)
+	for i := 0; i < b.N; i++ {
+		r, err := binding.Exhaustive(cfg, core.Options{}, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Solve.Status != core.StatusOptimal {
+			b.Fatal("binding search failed")
+		}
+	}
+}
+
+// BenchmarkMultiRate measures the hybrid multi-rate solver (extension: the
+// paper's "more dynamic applications" future work) on a 2:1 downsampler.
+func BenchmarkMultiRate(b *testing.B) {
+	cfg := gen.PaperT1(0)
+	cfg.Graphs[0].Buffers[0].Prod = 2
+	cfg.Graphs[0].Buffers[0].Cons = 1
+	for i := 0; i < b.N; i++ {
+		r, err := mrate.Solve(cfg, mrate.Options{})
+		if err != nil || r.Status != core.StatusOptimal {
+			b.Fatalf("%v %v", r.Status, err)
+		}
+	}
+}
+
+// BenchmarkSimulator measures the cycle-accurate TDM simulator on a verified
+// T1 mapping (500 firings per task).
+func BenchmarkSimulator(b *testing.B) {
+	cfg := gen.PaperT1(4)
+	r, err := core.Solve(cfg, core.Options{})
+	if err != nil || r.Status != core.StatusOptimal {
+		b.Fatalf("%v %v", r.Status, err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(cfg, r.Mapping, sim.Options{Firings: 500})
+		if err != nil || res.Deadlocked {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMinPeriod measures the SRDF maximum-cycle-mean analysis (the
+// verification workhorse) on a 100-actor ring with chords.
+func BenchmarkMinPeriod(b *testing.B) {
+	g := srdf.NewGraph()
+	const n = 100
+	ids := make([]srdf.ActorID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = g.AddActor("", float64(1+i%7))
+	}
+	for i := 0; i < n; i++ {
+		g.AddEdge("", ids[i], ids[(i+1)%n], 1+i%3)
+		g.AddEdge("", ids[i], ids[(i+13)%n], 2)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.MinPeriod(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

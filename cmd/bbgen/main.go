@@ -1,0 +1,76 @@
+// Command bbgen generates task-graph configuration files: the paper's
+// experiment instances, parametric chains and rings, and random multi-job
+// systems.
+//
+// Usage:
+//
+//	bbgen -preset t1|t2|chain|ring|random [-out cfg.json]
+//	      [-cap N] [-tasks N] [-procs N] [-jobs N] [-seed N]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/gen"
+	"repro/internal/taskgraph"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bbgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		preset = fs.String("preset", "t1", "t1 | t2 | chain | ring | random")
+		out    = fs.String("out", "", "output file (default: stdout)")
+		cap    = fs.Int("cap", 0, "buffer capacity cap in containers (0 = uncapped)")
+		tasks  = fs.Int("tasks", 4, "tasks per chain/ring")
+		procs  = fs.Int("procs", 0, "shared processors for chain (0 = one per task)")
+		jobs   = fs.Int("jobs", 2, "jobs for the random preset")
+		seed   = fs.Int64("seed", 1, "seed for the random preset")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var cfg *taskgraph.Config
+	switch *preset {
+	case "t1":
+		cfg = gen.PaperT1(*cap)
+	case "t2":
+		cfg = gen.PaperT2(*cap)
+	case "chain":
+		cfg = gen.Chain(gen.ChainOptions{Tasks: *tasks, SharedProcessors: *procs, MaxContainers: *cap})
+	case "ring":
+		cfg = gen.Ring(*tasks, 2)
+	case "random":
+		cfg = gen.RandomJobs(gen.RandomOptions{Seed: *seed, Jobs: *jobs})
+	default:
+		fmt.Fprintf(stderr, "bbgen: unknown preset %q\n", *preset)
+		return 2
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(stderr, "bbgen:", err)
+		return 1
+	}
+	if *out == "" {
+		data, err := json.MarshalIndent(cfg, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, "bbgen:", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, string(data))
+		return 0
+	}
+	if err := cfg.WriteFile(*out); err != nil {
+		fmt.Fprintln(stderr, "bbgen:", err)
+		return 1
+	}
+	return 0
+}

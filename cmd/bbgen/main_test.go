@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/taskgraph"
+)
+
+func TestGenPresetsToStdout(t *testing.T) {
+	for _, preset := range []string{"t1", "t2", "chain", "ring", "random"} {
+		var out, errb bytes.Buffer
+		if code := run([]string{"-preset", preset}, &out, &errb); code != 0 {
+			t.Fatalf("%s: exit %d: %s", preset, code, errb.String())
+		}
+		var cfg taskgraph.Config
+		if err := json.Unmarshal(out.Bytes(), &cfg); err != nil {
+			t.Fatalf("%s: invalid JSON: %v", preset, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("%s: invalid config: %v", preset, err)
+		}
+	}
+}
+
+func TestGenToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-preset", "t2", "-cap", "3", "-out", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	cfg, err := taskgraph.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Graphs[0].Buffers[0].MaxContainers != 3 {
+		t.Fatal("cap not applied")
+	}
+}
+
+func TestGenChainOptions(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-preset", "chain", "-tasks", "6", "-procs", "2"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	var cfg taskgraph.Config
+	if err := json.Unmarshal(out.Bytes(), &cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Processors) != 2 || len(cfg.Graphs[0].Tasks) != 6 {
+		t.Fatalf("chain options ignored: %d procs %d tasks", len(cfg.Processors), len(cfg.Graphs[0].Tasks))
+	}
+}
+
+func TestGenErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-preset", "bogus"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown preset: exit %d", code)
+	}
+	if !strings.Contains(errb.String(), "unknown preset") {
+		t.Fatal("missing error message")
+	}
+	if code := run([]string{"-preset", "t1", "-out", "/nonexistent-dir/x.json"}, &out, &errb); code != 1 {
+		t.Fatalf("unwritable out: exit %d", code)
+	}
+}

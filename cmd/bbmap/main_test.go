@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/taskgraph"
+)
+
+func writeConfig(t *testing.T, c *taskgraph.Config) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "cfg.json")
+	if err := c.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunJoint(t *testing.T) {
+	path := writeConfig(t, gen.PaperT1(4))
+	var out, errb bytes.Buffer
+	mapPath := filepath.Join(t.TempDir(), "m.json")
+	code := run([]string{"-config", path, "-out", mapPath}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "status: optimal") {
+		t.Fatalf("missing status:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "21.83") {
+		t.Fatalf("budget value not reported:\n%s", out.String())
+	}
+	m, err := taskgraph.ReadMappingFile(mapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Capacities["bab"] != 4 {
+		t.Fatalf("written mapping wrong: %+v", m)
+	}
+}
+
+func TestRunBudgetFirst(t *testing.T) {
+	path := writeConfig(t, gen.PaperT1(0))
+	var out, errb bytes.Buffer
+	if code := run([]string{"-config", path, "-method", "budget-first"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "status: optimal") {
+		t.Fatal("budget-first did not succeed")
+	}
+	// Fair-share variant.
+	out.Reset()
+	if code := run([]string{"-config", path, "-method", "budget-first", "-policy", "fair-share"}, &out, &errb); code != 0 {
+		t.Fatalf("fair-share exit %d", code)
+	}
+}
+
+func TestRunBufferFirst(t *testing.T) {
+	path := writeConfig(t, gen.PaperT1(5))
+	var out, errb bytes.Buffer
+	if code := run([]string{"-config", path, "-method", "buffer-first", "-quiet"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+}
+
+func TestRunInfeasibleExitCode(t *testing.T) {
+	c := gen.PaperT1(0)
+	c.Graphs[0].Period = 0.5
+	path := writeConfig(t, c)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-config", path}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "infeasible") {
+		t.Fatalf("missing infeasible status:\n%s", out.String())
+	}
+}
+
+func TestRunBinding(t *testing.T) {
+	c := gen.PaperT1(1)
+	c.Graphs[0].Period = 4.2
+	c.Graphs[0].Tasks[0].Processor = "p1"
+	c.Graphs[0].Tasks[1].Processor = "p1" // infeasible binding; search must fix it
+	path := writeConfig(t, c)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-config", path, "-bind", "exhaustive", "-quiet"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "binding search") {
+		t.Fatal("binding report missing")
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Fatalf("missing -config: exit %d", code)
+	}
+	path := writeConfig(t, gen.PaperT1(0))
+	if code := run([]string{"-config", path, "-method", "bogus"}, &out, &errb); code != 2 {
+		t.Fatalf("bad method: exit %d", code)
+	}
+	if code := run([]string{"-config", path, "-method", "budget-first", "-policy", "bogus"}, &out, &errb); code != 2 {
+		t.Fatalf("bad policy: exit %d", code)
+	}
+	if code := run([]string{"-config", path, "-bind", "bogus"}, &out, &errb); code != 2 {
+		t.Fatalf("bad bind: exit %d", code)
+	}
+	if code := run([]string{"-config", "/nonexistent.json"}, &out, &errb); code != 1 {
+		t.Fatalf("missing file: exit %d", code)
+	}
+}

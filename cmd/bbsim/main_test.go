@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/taskgraph"
+)
+
+func writeConfig(t *testing.T, c *taskgraph.Config) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "cfg.json")
+	if err := c.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSimSolveAndRun(t *testing.T) {
+	path := writeConfig(t, gen.PaperT1(4))
+	var out, errb bytes.Buffer
+	if code := run([]string{"-config", path, "-firings", "100"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "all tasks meet their throughput requirements") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+}
+
+func TestSimWithMappingFile(t *testing.T) {
+	cfg := gen.PaperT1(0)
+	path := writeConfig(t, cfg)
+	mpath := filepath.Join(t.TempDir(), "m.json")
+	m := &taskgraph.Mapping{
+		Budgets:    map[string]float64{"wa": 36.2, "wb": 36.2},
+		Capacities: map[string]int{"bab": 1},
+	}
+	if err := m.WriteFile(mpath); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-config", path, "-mapping", mpath, "-firings", "100"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s %s", code, errb.String(), out.String())
+	}
+}
+
+func TestSimRandomizedModes(t *testing.T) {
+	path := writeConfig(t, gen.PaperT1(3))
+	var out, errb bytes.Buffer
+	code := run([]string{"-config", path, "-firings", "100", "-random-offsets", "-random-exec", "-seed", "7"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+}
+
+func TestSimDetectsMiss(t *testing.T) {
+	cfg := gen.PaperT1(0)
+	path := writeConfig(t, cfg)
+	mpath := filepath.Join(t.TempDir(), "bad.json")
+	bad := &taskgraph.Mapping{
+		Budgets:    map[string]float64{"wa": 4, "wb": 4},
+		Capacities: map[string]int{"bab": 1}, // needs 10 containers at these budgets
+	}
+	if err := bad.WriteFile(mpath); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-config", path, "-mapping", mpath, "-firings", "100"}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "missed the throughput requirement") {
+		t.Fatalf("missing miss report:\n%s", out.String())
+	}
+}
+
+func TestSimUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Fatalf("missing -config: exit %d", code)
+	}
+	if code := run([]string{"-config", "/nonexistent.json"}, &out, &errb); code != 1 {
+		t.Fatalf("missing file: exit %d", code)
+	}
+	path := writeConfig(t, gen.PaperT1(0))
+	if code := run([]string{"-config", path, "-mapping", "/nonexistent.json"}, &out, &errb); code != 1 {
+		t.Fatalf("missing mapping: exit %d", code)
+	}
+	// Infeasible config with joint solve.
+	bad := gen.PaperT1(0)
+	bad.Graphs[0].Period = 0.5
+	bpath := writeConfig(t, bad)
+	if code := run([]string{"-config", bpath}, &out, &errb); code != 1 {
+		t.Fatalf("infeasible: exit %d", code)
+	}
+}

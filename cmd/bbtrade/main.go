@@ -1,0 +1,145 @@
+// Command bbtrade regenerates the figures and tables of the paper's
+// evaluation section, plus the extension experiments documented in
+// DESIGN.md.
+//
+// Usage:
+//
+//	bbtrade -experiment fig2a|fig2b|fig3|runtime|scalability|compare|ablation|pareto|all
+//	        [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/gen"
+	"repro/internal/textplot"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bbtrade", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		exp = fs.String("experiment", "all",
+			"fig2a | fig2b | fig3 | runtime | scalability | compare | ablation | pareto | latency | all")
+		csv = fs.Bool("csv", false, "emit CSV instead of tables/plots")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	opt := core.Options{}
+
+	runOne := func(name string) int {
+		switch name {
+		case "fig2a", "fig2b":
+			points, err := experiments.Fig2(opt)
+			if err != nil {
+				fmt.Fprintln(stderr, "bbtrade:", err)
+				return 1
+			}
+			if *csv {
+				tb := textplot.NewTable("cap", "budget", "delta")
+				for _, p := range points {
+					tb.AddRow(p.Cap, p.Budget, p.DeltaBudget)
+				}
+				fmt.Fprint(stdout, tb.CSV())
+				return 0
+			}
+			if name == "fig2a" {
+				fmt.Fprintln(stdout, experiments.RenderFig2a(points))
+			} else {
+				fmt.Fprintln(stdout, experiments.RenderFig2b(points))
+			}
+		case "fig3":
+			points, err := experiments.Fig3(opt)
+			if err != nil {
+				fmt.Fprintln(stderr, "bbtrade:", err)
+				return 1
+			}
+			if *csv {
+				tb := textplot.NewTable("cap", "budget_wb", "budget_wa_wc")
+				for _, p := range points {
+					tb.AddRow(p.Cap, p.BudgetWB, p.BudgetWAWC)
+				}
+				fmt.Fprint(stdout, tb.CSV())
+				return 0
+			}
+			fmt.Fprintln(stdout, experiments.RenderFig3(points))
+		case "runtime":
+			rows, err := experiments.Runtime(opt)
+			if err != nil {
+				fmt.Fprintln(stderr, "bbtrade:", err)
+				return 1
+			}
+			fmt.Fprintln(stdout, experiments.RenderRuntime(rows))
+		case "scalability":
+			points, err := experiments.Scalability([]int{2, 5, 10, 20, 50, 100}, opt)
+			if err != nil {
+				fmt.Fprintln(stderr, "bbtrade:", err)
+				return 1
+			}
+			fmt.Fprintln(stdout, experiments.RenderScalability(points))
+		case "compare":
+			rows, err := experiments.JointVsTwoPhase(opt)
+			if err != nil {
+				fmt.Fprintln(stderr, "bbtrade:", err)
+				return 1
+			}
+			fmt.Fprintln(stdout, experiments.RenderJointVsTwoPhase(rows))
+		case "ablation":
+			rows, err := experiments.AblationRounding(opt)
+			if err != nil {
+				fmt.Fprintln(stderr, "bbtrade:", err)
+				return 1
+			}
+			fmt.Fprintln(stdout, experiments.RenderAblation(rows))
+		case "latency":
+			points, err := experiments.LatencyTradeoff(opt)
+			if err != nil {
+				fmt.Fprintln(stderr, "bbtrade:", err)
+				return 1
+			}
+			fmt.Fprintln(stdout, "Latency/budget trade-off on T1 (wa → wb bound):")
+			fmt.Fprintln(stdout, experiments.RenderLatencyTradeoff(points))
+		case "pareto":
+			points, err := core.ParetoFrontier(gen.PaperT1(0), 13, opt)
+			if err != nil {
+				fmt.Fprintln(stderr, "bbtrade:", err)
+				return 1
+			}
+			tb := textplot.NewTable("weight ratio", "total budget (Mcycles)", "total memory (units)")
+			for _, p := range points {
+				tb.AddRow(p.WeightRatio, p.BudgetTotal, p.MemoryTotal)
+			}
+			if *csv {
+				fmt.Fprint(stdout, tb.CSV())
+				return 0
+			}
+			fmt.Fprintln(stdout, "Pareto frontier of T1 (budget total vs. buffer memory):")
+			fmt.Fprintln(stdout, tb.String())
+		default:
+			fmt.Fprintf(stderr, "bbtrade: unknown experiment %q\n", name)
+			return 2
+		}
+		return 0
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{"fig2a", "fig2b", "fig3", "runtime", "scalability", "compare", "ablation", "pareto", "latency"} {
+			fmt.Fprintf(stdout, "=== %s ===\n", name)
+			if code := runOne(name); code != 0 {
+				return code
+			}
+		}
+		return 0
+	}
+	return runOne(*exp)
+}

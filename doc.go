@@ -1,0 +1,12 @@
+// Package repro reproduces "Simultaneous Budget and Buffer Size Computation
+// for Throughput-Constrained Task Graphs" (Wiggers, Bekooij, Geilen, Basten;
+// DATE 2010).
+//
+// The library computes, in one convex optimization, the scheduler budgets
+// and FIFO buffer capacities that let a set of task graphs meet their
+// throughput requirements on a multiprocessor with TDM budget schedulers.
+// See README.md for the layout, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-versus-measured record. The benchmark
+// harness in bench_test.go regenerates every figure and table of the
+// paper's evaluation.
+package repro

@@ -1,0 +1,100 @@
+// A realistic streaming pipeline: a four-stage video decoder
+// (parse → vld → idct → display) mapped onto two DSPs with a shared
+// scratchpad, the kind of workload the paper's introduction motivates.
+// It demonstrates:
+//
+//   - the joint solve balancing budgets of co-scheduled stages,
+//   - Figure 3's topology effect (middle stages touch two buffers, so the
+//     optimizer keeps their budgets high and shrinks the ends first),
+//   - the two-phase baseline failing on the same instance (false negative).
+//
+// Run with: go run ./examples/pipeline
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/taskgraph"
+	"repro/internal/textplot"
+)
+
+func decoder() *taskgraph.Config {
+	return &taskgraph.Config{
+		Name: "video-decoder",
+		Processors: []taskgraph.Processor{
+			{Name: "dsp0", Replenishment: 40, Overhead: 1},
+			{Name: "dsp1", Replenishment: 40, Overhead: 1},
+		},
+		Memories: []taskgraph.Memory{
+			{Name: "scratch", Capacity: 64}, // tight: containers are macroblock-sized
+		},
+		Graphs: []*taskgraph.TaskGraph{{
+			Name:   "decode",
+			Period: 12, // one macroblock per 12 Mcycles
+			Tasks: []taskgraph.Task{
+				{Name: "parse", Processor: "dsp0", WCET: 1.5},
+				{Name: "vld", Processor: "dsp1", WCET: 3},
+				{Name: "idct", Processor: "dsp0", WCET: 2.5},
+				{Name: "display", Processor: "dsp1", WCET: 1},
+			},
+			Buffers: []taskgraph.Buffer{
+				{Name: "bits", From: "parse", To: "vld", Memory: "scratch", ContainerSize: 2},
+				{Name: "coef", From: "vld", To: "idct", Memory: "scratch", ContainerSize: 4},
+				{Name: "pix", From: "idct", To: "display", Memory: "scratch", ContainerSize: 4},
+			},
+		}},
+	}
+}
+
+func main() {
+	cfg := decoder()
+	res, err := core.Solve(cfg, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Status != core.StatusOptimal {
+		log.Fatalf("joint solve failed: %v", res.Status)
+	}
+	fmt.Println("joint mapping for the decoder pipeline:")
+	tb := textplot.NewTable("stage", "processor", "budget (Mcycles)", "buffers touched")
+	touch := map[string]int{}
+	for _, b := range cfg.Graphs[0].Buffers {
+		touch[b.From]++
+		touch[b.To]++
+	}
+	for _, w := range cfg.Graphs[0].Tasks {
+		tb.AddRow(w.Name, w.Processor, res.Mapping.Budgets[w.Name], touch[w.Name])
+	}
+	fmt.Println(tb.String())
+	ct := textplot.NewTable("buffer", "capacity (containers)", "container size", "footprint")
+	for _, b := range cfg.Graphs[0].Buffers {
+		gamma := res.Mapping.Capacities[b.Name]
+		ct.AddRow(b.Name, gamma, b.EffectiveContainerSize(), gamma*b.EffectiveContainerSize())
+	}
+	fmt.Println(ct.String())
+	fmt.Printf("scratchpad use: %d / %d units\n\n",
+		res.Verification.MemoryUse["scratch"], cfg.Memories[0].Capacity)
+
+	// The classical budget-first flow fails on this instance: rate-minimal
+	// budgets need more buffering than the scratchpad holds.
+	bf, err := core.TwoPhaseBudgetFirst(cfg, core.BudgetMinimalRate, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("two-phase budget-first flow on the same instance: %v\n", bf.Status)
+	if bf.Status == core.StatusInfeasible {
+		fmt.Println("  → a false negative: the joint formulation found a mapping above")
+	}
+
+	// Figure 3, the general form of what happened here: middle tasks touch
+	// two buffers, so their budgets are reduced last.
+	fmt.Println("\nFigure 3 (three-task chain, both buffers capped):")
+	points, err := experiments.Fig3(core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(experiments.RenderFig3(points))
+}

@@ -1,0 +1,278 @@
+package cone
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linalg"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// randInterior returns a random strictly interior point of K.
+func randInterior(rng *rand.Rand, d Dims) linalg.Vector {
+	x := linalg.NewVector(d.Dim())
+	for i := 0; i < d.NonNeg; i++ {
+		x[i] = 0.1 + rng.Float64()*3
+	}
+	off := d.NonNeg
+	for _, q := range d.SOC {
+		var ssq float64
+		for i := 1; i < q; i++ {
+			x[off+i] = rng.NormFloat64()
+			ssq += x[off+i] * x[off+i]
+		}
+		x[off] = math.Sqrt(ssq) + 0.1 + rng.Float64()*2
+		off += q
+	}
+	return x
+}
+
+func testDims() []Dims {
+	return []Dims{
+		{NonNeg: 5},
+		{SOC: []int{3}},
+		{SOC: []int{2, 4, 3}},
+		{NonNeg: 3, SOC: []int{3, 5}},
+		{NonNeg: 1, SOC: []int{2}},
+	}
+}
+
+func TestDimsValidate(t *testing.T) {
+	if err := (Dims{NonNeg: 2, SOC: []int{3}}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Dims{NonNeg: -1}).Validate(); err == nil {
+		t.Fatal("negative orthant accepted")
+	}
+	if err := (Dims{SOC: []int{1}}).Validate(); err == nil {
+		t.Fatal("SOC of size 1 accepted")
+	}
+}
+
+func TestDimAndDegree(t *testing.T) {
+	d := Dims{NonNeg: 4, SOC: []int{3, 2}}
+	if d.Dim() != 9 {
+		t.Fatalf("Dim = %d, want 9", d.Dim())
+	}
+	if d.Degree() != 6 {
+		t.Fatalf("Degree = %d, want 6", d.Degree())
+	}
+}
+
+func TestIdentityIsInterior(t *testing.T) {
+	for _, d := range testDims() {
+		e := linalg.NewVector(d.Dim())
+		d.Identity(e)
+		if !d.Interior(e) {
+			t.Fatalf("identity not interior for %+v", d)
+		}
+		// e ∘ x = x for all x.
+		rng := rand.New(rand.NewSource(42))
+		x := randInterior(rng, d)
+		prod := linalg.NewVector(d.Dim())
+		d.Product(prod, e, x)
+		for i := range x {
+			if !almostEqual(prod[i], x[i], 1e-12) {
+				t.Fatalf("e∘x != x at %d for %+v", i, d)
+			}
+		}
+	}
+}
+
+func TestInteriorDetection(t *testing.T) {
+	d := Dims{NonNeg: 2, SOC: []int{3}}
+	in := linalg.Vector{1, 1, 2, 1, 1} // SOC: 2 > sqrt(2)
+	if !d.Interior(in) {
+		t.Fatal("interior point rejected")
+	}
+	out := linalg.Vector{1, -0.1, 2, 1, 1}
+	if d.Interior(out) {
+		t.Fatal("negative orthant coordinate accepted")
+	}
+	boundary := linalg.Vector{1, 1, math.Sqrt2, 1, 1}
+	if d.Interior(boundary) {
+		t.Fatal("SOC boundary point accepted as interior")
+	}
+}
+
+func TestInteriorMargin(t *testing.T) {
+	d := Dims{NonNeg: 2, SOC: []int{3}}
+	x := linalg.Vector{0.5, 2, 3, 0, 4} // orthant min 0.5, SOC residual 3-4 = -1
+	if got := d.InteriorMargin(x); !almostEqual(got, -1, 1e-12) {
+		t.Fatalf("InteriorMargin = %v, want -1", got)
+	}
+	// Shifting by (1 - margin)·e must produce an interior point.
+	e := linalg.NewVector(d.Dim())
+	d.Identity(e)
+	shifted := x.Clone()
+	shifted.AddScaled(1-d.InteriorMargin(x), e)
+	if !d.Interior(shifted) {
+		t.Fatal("margin-based shift did not reach the interior")
+	}
+}
+
+func TestProductDivRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, d := range testDims() {
+		for trial := 0; trial < 20; trial++ {
+			lambda := randInterior(rng, d)
+			b := linalg.NewVector(d.Dim())
+			for i := range b {
+				b[i] = rng.NormFloat64()
+			}
+			u := linalg.NewVector(d.Dim())
+			d.Div(u, lambda, b)
+			back := linalg.NewVector(d.Dim())
+			d.Product(back, lambda, u)
+			for i := range b {
+				if !almostEqual(back[i], b[i], 1e-9) {
+					t.Fatalf("λ∘(λ\\b) != b at %d for %+v: %v vs %v", i, d, back[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+func TestProductCommutes(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	d := Dims{NonNeg: 2, SOC: []int{4}}
+	x := randInterior(rng, d)
+	y := randInterior(rng, d)
+	xy := linalg.NewVector(d.Dim())
+	yx := linalg.NewVector(d.Dim())
+	d.Product(xy, x, y)
+	d.Product(yx, y, x)
+	for i := range xy {
+		if xy[i] != yx[i] {
+			t.Fatalf("Jordan product not commutative at %d", i)
+		}
+	}
+}
+
+func TestProductAliasSafe(t *testing.T) {
+	d := Dims{SOC: []int{3}}
+	x := linalg.Vector{3, 1, 1}
+	y := linalg.Vector{2, 0.5, -0.5}
+	want := linalg.NewVector(3)
+	d.Product(want, x, y)
+	got := x.Clone()
+	d.Product(got, got, y) // dst aliases x
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-14) {
+			t.Fatalf("aliased product differs at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestStepToBoundaryOrthant(t *testing.T) {
+	d := Dims{NonNeg: 3}
+	x := linalg.Vector{1, 2, 3}
+	dx := linalg.Vector{-1, -4, 1}
+	// Exit at min(1/1, 2/4) = 0.5.
+	if got := d.StepToBoundary(x, dx); !almostEqual(got, 0.5, 1e-12) {
+		t.Fatalf("step = %v, want 0.5", got)
+	}
+	if got := d.StepToBoundary(x, linalg.Vector{1, 0, 2}); !math.IsInf(got, 1) {
+		t.Fatalf("nonnegative direction should give +Inf, got %v", got)
+	}
+}
+
+func TestStepToBoundarySOCExact(t *testing.T) {
+	d := Dims{SOC: []int{3}}
+	x := linalg.Vector{2, 0, 0}
+	dx := linalg.Vector{0, 1, 0}
+	// Exit when ‖(α,0)‖ = 2 → α = 2.
+	if got := d.StepToBoundary(x, dx); !almostEqual(got, 2, 1e-12) {
+		t.Fatalf("step = %v, want 2", got)
+	}
+	// Direction inside the cone: unbounded.
+	if got := d.StepToBoundary(x, linalg.Vector{1, 0.5, 0}); !math.IsInf(got, 1) {
+		t.Fatalf("in-cone direction should give +Inf, got %v", got)
+	}
+	// Head shrinking: exit when 2 - α = 0 → α = 2 with zero tail.
+	if got := d.StepToBoundary(x, linalg.Vector{-1, 0, 0}); !almostEqual(got, 2, 1e-12) {
+		t.Fatalf("head-shrink step = %v, want 2", got)
+	}
+}
+
+// Property: at the returned step the point is on the boundary (margin ≈ 0),
+// and slightly before it the point is interior.
+func TestStepToBoundaryProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, d := range testDims() {
+		for trial := 0; trial < 50; trial++ {
+			x := randInterior(rng, d)
+			dx := linalg.NewVector(d.Dim())
+			for i := range dx {
+				dx[i] = rng.NormFloat64()
+			}
+			tmax := d.StepToBoundary(x, dx)
+			if math.IsInf(tmax, 1) {
+				// Ray stays in the cone: spot check a large step.
+				y := x.Clone()
+				y.AddScaled(1e6, dx)
+				if d.InteriorMargin(y) < -1e-6*linalg.NormInf(y) {
+					t.Fatalf("claimed unbounded but exits cone (%+v)", d)
+				}
+				continue
+			}
+			if tmax < 0 {
+				t.Fatalf("negative step %v", tmax)
+			}
+			before := x.Clone()
+			before.AddScaled(0.999999*tmax, dx)
+			if d.InteriorMargin(before) < -1e-7*(1+linalg.NormInf(before)) {
+				t.Fatalf("point just before the boundary is outside (%+v, margin %v)",
+					d, d.InteriorMargin(before))
+			}
+			at := x.Clone()
+			at.AddScaled(tmax, dx)
+			if m := d.InteriorMargin(at); math.Abs(m) > 1e-6*(1+linalg.NormInf(at)) {
+				t.Fatalf("boundary margin not ~0: %v (%+v)", m, d)
+			}
+		}
+	}
+}
+
+func TestSOCStepBisectFallback(t *testing.T) {
+	// Exercise the bisection helper directly.
+	x := linalg.Vector{1, 0.5, 0}
+	dx := linalg.Vector{-0.1, 0.3, 0.1}
+	got := socStepBisect(x, dx)
+	// Verify against direct evaluation.
+	y := x.Clone()
+	y.AddScaled(got, dx)
+	if r := socResidual(y); math.Abs(r) > 1e-9 {
+		t.Fatalf("bisection boundary residual %v", r)
+	}
+}
+
+func TestDivQuickProperty(t *testing.T) {
+	d := Dims{NonNeg: 2, SOC: []int{3}}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lambda := randInterior(rng, d)
+		b := linalg.NewVector(d.Dim())
+		for i := range b {
+			b[i] = rng.NormFloat64() * 10
+		}
+		u := linalg.NewVector(d.Dim())
+		d.Div(u, lambda, b)
+		back := linalg.NewVector(d.Dim())
+		d.Product(back, lambda, u)
+		for i := range b {
+			if !almostEqual(back[i], b[i], 1e-8) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,212 @@
+package cone
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// ErrNotInterior is returned when a scaling is requested for points that are
+// not strictly inside the cone.
+var ErrNotInterior = errors.New("cone: point is not strictly interior")
+
+// Scaling is the Nesterov-Todd scaling for a primal-dual pair (s, z) of
+// strictly interior points: a symmetric positive-definite linear map W with
+//
+//	W z = W⁻¹ s  (=: λ, the scaled point).
+//
+// For the orthant, W is diagonal with entries √(sᵢ/zᵢ). For a second-order
+// cone block, W = P(v) is the quadratic representation of the Jordan square
+// root v = w^{1/2} of the scaling point w (the unique interior point with
+// P(w) z = s):
+//
+//	P(v) u = 2 v (vᵀu) − det(v)·J u,   J u = (u₀, −u₁).
+type Scaling struct {
+	dims Dims
+	// Orthant diagonal: d[i] = sqrt(s_i / z_i), indexed from 0..NonNeg-1.
+	d linalg.Vector
+	// One entry per SOC block.
+	blocks []socScaling
+	lambda linalg.Vector // λ = W z = W⁻¹ s
+}
+
+type socScaling struct {
+	v    linalg.Vector // Jordan square root of the scaling point w
+	detV float64       // det(v) = √det(w) = √(‖s‖_J / ‖z‖_J)
+}
+
+// NewScaling computes the NT scaling for the pair (s, z). Both points must be
+// strictly interior to K.
+func NewScaling(dims Dims, s, z linalg.Vector) (*Scaling, error) {
+	dims.checkLen(s)
+	dims.checkLen(z)
+	if !dims.Interior(s) || !dims.Interior(z) {
+		return nil, ErrNotInterior
+	}
+	w := &Scaling{dims: dims, d: linalg.NewVector(dims.NonNeg), lambda: linalg.NewVector(dims.Dim())}
+	for i := 0; i < dims.NonNeg; i++ {
+		w.d[i] = math.Sqrt(s[i] / z[i])
+		w.lambda[i] = math.Sqrt(s[i] * z[i])
+	}
+	off := dims.NonNeg
+	for _, q := range dims.SOC {
+		sb, zb := s[off:off+q], z[off:off+q]
+		blk, err := newSOCScaling(sb, zb)
+		if err != nil {
+			return nil, err
+		}
+		w.blocks = append(w.blocks, blk)
+		// λ block = W z.
+		applyP(blk.v, blk.detV, w.lambda[off:off+q], zb)
+		off += q
+	}
+	return w, nil
+}
+
+// newSOCScaling computes the NT scaling for one SOC block.
+func newSOCScaling(s, z linalg.Vector) (socScaling, error) {
+	ns := jnorm(s)
+	nz := jnorm(z)
+	if ns <= 0 || nz <= 0 {
+		return socScaling{}, ErrNotInterior
+	}
+	q := len(s)
+	// Normalized points and γ = sqrt((1 + s̄ᵀz̄)/2).
+	sbar := make(linalg.Vector, q)
+	zbar := make(linalg.Vector, q)
+	for i := range s {
+		sbar[i] = s[i] / ns
+		zbar[i] = z[i] / nz
+	}
+	gamma := math.Sqrt((1 + linalg.Dot(sbar, zbar)) / 2)
+	// Scaling point w = √η · w̄ with w̄ = (s̄ + J z̄)/(2γ), η = ns/nz.
+	eta := ns / nz
+	sqrtEta := math.Sqrt(eta)
+	w := make(linalg.Vector, q)
+	w[0] = sqrtEta * (sbar[0] + zbar[0]) / (2 * gamma)
+	for i := 1; i < q; i++ {
+		w[i] = sqrtEta * (sbar[i] - zbar[i]) / (2 * gamma)
+	}
+	// det(w) = η (since det(w̄) = 1); Jordan square root v of w.
+	detW := eta
+	v := make(linalg.Vector, q)
+	v0 := math.Sqrt((w[0] + math.Sqrt(detW)) / 2)
+	v[0] = v0
+	for i := 1; i < q; i++ {
+		v[i] = w[i] / (2 * v0)
+	}
+	return socScaling{v: v, detV: math.Sqrt(detW)}, nil
+}
+
+// jnorm returns √(x₀² − ‖x₁‖²) for an interior SOC point (NaN guarded to 0).
+func jnorm(x linalg.Vector) float64 {
+	d := x[0]*x[0] - sq(linalg.Norm2(x[1:]))
+	if d <= 0 {
+		return 0
+	}
+	return math.Sqrt(d)
+}
+
+// applyP writes P(v) u into dst for a SOC block: 2 v (vᵀu) − det(v)·J u.
+// dst may not alias u.
+func applyP(v linalg.Vector, detV float64, dst, u linalg.Vector) {
+	dot := linalg.Dot(v, u)
+	dst[0] = 2*v[0]*dot - detV*u[0]
+	for i := 1; i < len(u); i++ {
+		dst[i] = 2*v[i]*dot + detV*u[i]
+	}
+}
+
+// Lambda returns the scaled point λ = W z = W⁻¹ s (shared storage; callers
+// must not modify it).
+func (w *Scaling) Lambda() linalg.Vector { return w.lambda }
+
+// Apply writes W x into dst. dst may alias x.
+func (w *Scaling) Apply(dst, x linalg.Vector) {
+	w.dims.checkLen(dst)
+	w.dims.checkLen(x)
+	for i := 0; i < w.dims.NonNeg; i++ {
+		dst[i] = w.d[i] * x[i]
+	}
+	off := w.dims.NonNeg
+	for bi, q := range w.dims.SOC {
+		blk := w.blocks[bi]
+		tmp := make(linalg.Vector, q)
+		applyP(blk.v, blk.detV, tmp, x[off:off+q])
+		copy(dst[off:off+q], tmp)
+		off += q
+	}
+}
+
+// ApplyInv writes W⁻¹ x into dst. dst may alias x. Uses P(v)⁻¹ = P(v⁻¹) with
+// v⁻¹ = J v / det(v).
+func (w *Scaling) ApplyInv(dst, x linalg.Vector) {
+	w.dims.checkLen(dst)
+	w.dims.checkLen(x)
+	for i := 0; i < w.dims.NonNeg; i++ {
+		dst[i] = x[i] / w.d[i]
+	}
+	off := w.dims.NonNeg
+	for bi, q := range w.dims.SOC {
+		blk := w.blocks[bi]
+		vinv := make(linalg.Vector, q)
+		vinv[0] = blk.v[0] / blk.detV
+		for i := 1; i < q; i++ {
+			vinv[i] = -blk.v[i] / blk.detV
+		}
+		tmp := make(linalg.Vector, q)
+		applyP(vinv, 1/blk.detV, tmp, x[off:off+q])
+		copy(dst[off:off+q], tmp)
+		off += q
+	}
+}
+
+// ScaleRows overwrites each column slice of the m×n matrix g (given as the
+// raw row-major data) with W⁻¹ applied to it; i.e. it replaces G by W⁻¹G.
+// This is the building block for the IPM normal equations
+// H = Gᵀ W⁻² G = (W⁻¹G)ᵀ (W⁻¹G).
+func (w *Scaling) ScaleRows(g *linalg.Matrix) {
+	if g.Rows != w.dims.Dim() {
+		panic("cone: ScaleRows row count does not match cone dimension")
+	}
+	n := g.Cols
+	// Orthant rows: scale row i by 1/d_i.
+	for i := 0; i < w.dims.NonNeg; i++ {
+		inv := 1 / w.d[i]
+		row := g.Data[i*n : (i+1)*n]
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+	off := w.dims.NonNeg
+	col := make(linalg.Vector, 0, 16)
+	out := make(linalg.Vector, 0, 16)
+	for bi, q := range w.dims.SOC {
+		blk := w.blocks[bi]
+		vinv := make(linalg.Vector, q)
+		vinv[0] = blk.v[0] / blk.detV
+		for i := 1; i < q; i++ {
+			vinv[i] = -blk.v[i] / blk.detV
+		}
+		col = col[:0]
+		out = out[:0]
+		if cap(col) < q {
+			col = make(linalg.Vector, q)
+			out = make(linalg.Vector, q)
+		} else {
+			col = col[:q]
+			out = out[:q]
+		}
+		for j := 0; j < n; j++ {
+			for r := 0; r < q; r++ {
+				col[r] = g.Data[(off+r)*n+j]
+			}
+			applyP(vinv, 1/blk.detV, out, col)
+			for r := 0; r < q; r++ {
+				g.Data[(off+r)*n+j] = out[r]
+			}
+		}
+		off += q
+	}
+}

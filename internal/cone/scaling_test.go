@@ -1,0 +1,198 @@
+package cone
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+// TestScalingDefiningIdentity checks the NT property W z = W⁻¹ s = λ.
+func TestScalingDefiningIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, d := range testDims() {
+		for trial := 0; trial < 30; trial++ {
+			s := randInterior(rng, d)
+			z := randInterior(rng, d)
+			w, err := NewScaling(d, s, z)
+			if err != nil {
+				t.Fatalf("%+v: %v", d, err)
+			}
+			wz := linalg.NewVector(d.Dim())
+			w.Apply(wz, z)
+			winvS := linalg.NewVector(d.Dim())
+			w.ApplyInv(winvS, s)
+			lambda := w.Lambda()
+			for i := range wz {
+				if !almostEqual(wz[i], winvS[i], 1e-8) {
+					t.Fatalf("%+v trial %d: Wz != W⁻¹s at %d: %v vs %v", d, trial, i, wz[i], winvS[i])
+				}
+				if !almostEqual(wz[i], lambda[i], 1e-8) {
+					t.Fatalf("%+v: λ mismatch at %d: %v vs %v", d, i, wz[i], lambda[i])
+				}
+			}
+			if !d.Interior(lambda) {
+				t.Fatalf("%+v: λ not interior", d)
+			}
+		}
+	}
+}
+
+// TestScalingInverseRoundTrip checks W⁻¹(W x) = x for arbitrary x.
+func TestScalingInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for _, d := range testDims() {
+		s := randInterior(rng, d)
+		z := randInterior(rng, d)
+		w, err := NewScaling(d, s, z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 20; trial++ {
+			x := linalg.NewVector(d.Dim())
+			for i := range x {
+				x[i] = rng.NormFloat64()
+			}
+			y := linalg.NewVector(d.Dim())
+			w.Apply(y, x)
+			back := linalg.NewVector(d.Dim())
+			w.ApplyInv(back, y)
+			for i := range x {
+				if !almostEqual(back[i], x[i], 1e-9) {
+					t.Fatalf("%+v: W⁻¹Wx != x at %d: %v vs %v", d, i, back[i], x[i])
+				}
+			}
+		}
+	}
+}
+
+// TestScalingSymmetric verifies xᵀ(Wy) = (Wx)ᵀy, i.e. W is symmetric.
+func TestScalingSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, d := range testDims() {
+		s := randInterior(rng, d)
+		z := randInterior(rng, d)
+		w, err := NewScaling(d, s, z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := linalg.NewVector(d.Dim())
+		y := linalg.NewVector(d.Dim())
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		wx := linalg.NewVector(d.Dim())
+		wy := linalg.NewVector(d.Dim())
+		w.Apply(wx, x)
+		w.Apply(wy, y)
+		if !almostEqual(linalg.Dot(x, wy), linalg.Dot(wx, y), 1e-9) {
+			t.Fatalf("%+v: W not symmetric: %v vs %v", d, linalg.Dot(x, wy), linalg.Dot(wx, y))
+		}
+	}
+}
+
+// TestScalingGapInvariant verifies λᵀλ = sᵀz, which follows from
+// λ = Wz = W⁻¹s.
+func TestScalingGapInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	for _, d := range testDims() {
+		for trial := 0; trial < 20; trial++ {
+			s := randInterior(rng, d)
+			z := randInterior(rng, d)
+			w, err := NewScaling(d, s, z)
+			if err != nil {
+				t.Fatal(err)
+			}
+			l := w.Lambda()
+			if !almostEqual(linalg.Dot(l, l), linalg.Dot(s, z), 1e-8) {
+				t.Fatalf("%+v: λᵀλ = %v but sᵀz = %v", d, linalg.Dot(l, l), linalg.Dot(s, z))
+			}
+		}
+	}
+}
+
+// TestScalingRejectsBoundary verifies NewScaling fails for boundary points.
+func TestScalingRejectsBoundary(t *testing.T) {
+	d := Dims{NonNeg: 1, SOC: []int{3}}
+	in := linalg.Vector{1, 2, 0, 0}
+	boundary := linalg.Vector{0, 2, 0, 0}
+	if _, err := NewScaling(d, boundary, in); err == nil {
+		t.Fatal("boundary s accepted")
+	}
+	if _, err := NewScaling(d, in, boundary); err == nil {
+		t.Fatal("boundary z accepted")
+	}
+}
+
+// TestScaleRowsMatchesApplyInv verifies that ScaleRows(G) multiplies every
+// column by W⁻¹.
+func TestScaleRowsMatchesApplyInv(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	for _, d := range testDims() {
+		s := randInterior(rng, d)
+		z := randInterior(rng, d)
+		w, err := NewScaling(d, s, z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, n := d.Dim(), 4
+		g := linalg.NewMatrix(m, n)
+		for i := range g.Data {
+			g.Data[i] = rng.NormFloat64()
+		}
+		want := linalg.NewMatrix(m, n)
+		col := linalg.NewVector(m)
+		out := linalg.NewVector(m)
+		for j := 0; j < n; j++ {
+			for i := 0; i < m; i++ {
+				col[i] = g.At(i, j)
+			}
+			w.ApplyInv(out, col)
+			for i := 0; i < m; i++ {
+				want.Set(i, j, out[i])
+			}
+		}
+		w.ScaleRows(g)
+		for k := range g.Data {
+			if !almostEqual(g.Data[k], want.Data[k], 1e-9) {
+				t.Fatalf("%+v: ScaleRows mismatch at %d: %v vs %v", d, k, g.Data[k], want.Data[k])
+			}
+		}
+	}
+}
+
+// TestScalingCentralPoint: when s = z, W must be the identity map.
+func TestScalingCentralPoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	for _, d := range testDims() {
+		s := randInterior(rng, d)
+		w, err := NewScaling(d, s, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := linalg.NewVector(d.Dim())
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		y := linalg.NewVector(d.Dim())
+		w.Apply(y, x)
+		for i := range x {
+			if !almostEqual(y[i], x[i], 1e-9) {
+				t.Fatalf("%+v: W != I at central point (index %d: %v vs %v)", d, i, y[i], x[i])
+			}
+		}
+	}
+}
+
+// TestJnorm sanity.
+func TestJnorm(t *testing.T) {
+	if got := jnorm(linalg.Vector{5, 3, 0}); !almostEqual(got, 4, 1e-12) {
+		t.Fatalf("jnorm = %v, want 4", got)
+	}
+	if got := jnorm(linalg.Vector{1, 2, 0}); got != 0 {
+		t.Fatalf("jnorm of exterior point = %v, want 0", got)
+	}
+	_ = math.Pi
+}

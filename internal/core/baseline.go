@@ -1,0 +1,374 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dfmodel"
+	"repro/internal/lp"
+	"repro/internal/socp"
+	"repro/internal/taskgraph"
+)
+
+// The two-phase baselines implement the state of the art the paper improves
+// on: budget and buffer sizes computed in two separate phases of the mapping
+// flow (cf. Moreira et al. EMSOFT'07, Stuijk et al. DAC'07). Because the
+// phases cannot see each other's trade-off, they produce false negatives —
+// configurations declared infeasible even though the joint Algorithm 1 finds
+// a mapping — or waste resources. These baselines exist to reproduce and
+// quantify that motivation.
+
+// BudgetPolicy selects how the budget-first baseline fixes budgets before it
+// has seen any buffer information.
+type BudgetPolicy int
+
+const (
+	// BudgetMinimalRate gives every task the smallest budget that sustains
+	// its rate in isolation: β = ϱ·χ/µ (rounded up to the granularity).
+	// Cheapest in processor budget, but demands the largest buffers.
+	BudgetMinimalRate BudgetPolicy = iota
+	// BudgetFairShare divides each processor's capacity evenly over its
+	// tasks: β = (ϱ − o)/n − g. Wastes processor capacity but needs small
+	// buffers.
+	BudgetFairShare
+)
+
+// String implements fmt.Stringer.
+func (p BudgetPolicy) String() string {
+	switch p {
+	case BudgetMinimalRate:
+		return "minimal-rate"
+	case BudgetFairShare:
+		return "fair-share"
+	default:
+		return fmt.Sprintf("BudgetPolicy(%d)", int(p))
+	}
+}
+
+// TwoPhaseBudgetFirst runs the classical flow: phase 1 fixes budgets by the
+// given policy, phase 2 computes minimal buffer capacities by linear
+// programming (solved with the independent simplex in internal/lp).
+func TwoPhaseBudgetFirst(c *taskgraph.Config, policy BudgetPolicy, opt Options) (*Result, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{SolverStatus: socp.StatusOptimal}
+	g := c.EffectiveGranularity()
+
+	// ---- Phase 1: budgets without buffer knowledge ----
+	budgets := map[string]float64{}
+	for _, tg := range c.Graphs {
+		for i := range tg.Tasks {
+			w := &tg.Tasks[i]
+			p, _ := c.Processor(w.Processor)
+			rateMin := p.Replenishment * w.WCET / tg.Period
+			var beta float64
+			switch policy {
+			case BudgetMinimalRate:
+				beta = g * math.Ceil(rateMin/g-roundTol)
+			case BudgetFairShare:
+				n := float64(len(c.TasksOn(w.Processor)))
+				beta = g * math.Floor(((p.Replenishment-p.Overhead)/n)/g+roundTol)
+				if beta < rateMin {
+					res.Status = StatusInfeasible
+					return res, nil
+				}
+			default:
+				return nil, fmt.Errorf("core: unknown budget policy %v", policy)
+			}
+			if beta <= 0 || beta > p.Replenishment {
+				res.Status = StatusInfeasible
+				return res, nil
+			}
+			budgets[w.Name] = beta
+		}
+	}
+	// Processor capacity check (Constraint 4 with overhead).
+	for i := range c.Processors {
+		p := &c.Processors[i]
+		load := p.Overhead
+		for _, tn := range c.TasksOn(p.Name) {
+			load += budgets[tn]
+		}
+		if load > p.Replenishment*(1+1e-12) {
+			res.Status = StatusInfeasible
+			return res, nil
+		}
+	}
+
+	// ---- Phase 2: buffer sizing LP with fixed budgets ----
+	capacities, lpIter, feasible, err := bufferSizingLP(c, budgets)
+	if err != nil {
+		return nil, err
+	}
+	res.SolverIterations = lpIter
+	if !feasible {
+		res.Status = StatusInfeasible
+		return res, nil
+	}
+
+	mapping := &taskgraph.Mapping{Budgets: budgets, Capacities: capacities}
+	mapping.Objective = objective(c, mapping)
+	res.Mapping = mapping
+	res.Status = StatusOptimal
+	if !opt.SkipVerification {
+		v, err := dfmodel.Verify(c, mapping)
+		if err != nil {
+			return nil, err
+		}
+		res.Verification = v
+		if !v.OK {
+			res.Status = StatusError
+			return res, fmt.Errorf("core: budget-first mapping failed verification: %v", v.Problems)
+		}
+	}
+	return res, nil
+}
+
+// bufferSizingLP solves the phase-2 LP: minimal weighted buffer capacities
+// for fixed budgets, subject to Constraints (6), (7), (10) and the
+// per-buffer bounds. Returns the rounded capacities.
+func bufferSizingLP(c *taskgraph.Config, budgets map[string]float64) (map[string]int, int, bool, error) {
+	// Variable layout: start times per actor (free), then δ′ per buffer.
+	varIdx := map[string]int{}
+	var free []bool
+	var obj []float64
+	addVar := func(name string, isFree bool, cost float64) int {
+		varIdx[name] = len(free)
+		free = append(free, isFree)
+		obj = append(obj, cost)
+		return varIdx[name]
+	}
+	for _, tg := range c.Graphs {
+		pinned := pickPinned(tg)
+		for i := range tg.Tasks {
+			w := &tg.Tasks[i]
+			if !pinned[w.Name] {
+				addVar("s."+w.Name+".1", true, 0)
+			}
+			addVar("s."+w.Name+".2", true, 0)
+		}
+		for i := range tg.Buffers {
+			bf := &tg.Buffers[i]
+			addVar("d."+bf.Name, false,
+				bf.EffectiveSizeWeight()*float64(bf.EffectiveContainerSize()))
+		}
+	}
+	sIdx := func(task string, which int) (int, bool) {
+		i, ok := varIdx[fmt.Sprintf("s.%s.%d", task, which)]
+		return i, ok
+	}
+
+	var rows [][]float64
+	var rhs []float64
+	n := len(free)
+	addRow := func(coeffs map[int]float64, b float64) {
+		row := make([]float64, n)
+		for i, v := range coeffs {
+			row[i] += v
+		}
+		rows = append(rows, row)
+		rhs = append(rhs, b)
+	}
+
+	for _, tg := range c.Graphs {
+		mu := tg.Period
+		for i := range tg.Tasks {
+			w := &tg.Tasks[i]
+			p, _ := c.Processor(w.Processor)
+			beta := budgets[w.Name]
+			// Rate feasibility: ϱχ/β ≤ µ must hold or no PAS exists.
+			if p.Replenishment*w.WCET/beta > mu*(1+1e-12) {
+				return nil, 0, false, nil
+			}
+			// (6): s(v1) − s(v2) ≤ −(ϱ − β).
+			co := map[int]float64{}
+			if i1, ok := sIdx(w.Name, 1); ok {
+				co[i1] += 1
+			}
+			i2, _ := sIdx(w.Name, 2)
+			co[i2] -= 1
+			addRow(co, -(p.Replenishment - beta))
+		}
+		for i := range tg.Buffers {
+			bf := &tg.Buffers[i]
+			prod, _ := tg.Task(bf.From)
+			cons, _ := tg.Task(bf.To)
+			pProd, _ := c.Processor(prod.Processor)
+			pCons, _ := c.Processor(cons.Processor)
+			// (7) data: s(a2) − s(b1) ≤ ι·µ − ϱ(a)·χ(a)/β(a).
+			co := map[int]float64{}
+			ia2, _ := sIdx(bf.From, 2)
+			co[ia2] += 1
+			if ib1, ok := sIdx(bf.To, 1); ok {
+				co[ib1] -= 1
+			}
+			addRow(co, float64(bf.InitialTokens)*mu-pProd.Replenishment*prod.WCET/budgets[bf.From])
+			// (7) space: s(b2) − s(a1) − µ·δ′ ≤ −ϱ(b)·χ(b)/β(b).
+			co = map[int]float64{}
+			ib2, _ := sIdx(bf.To, 2)
+			co[ib2] += 1
+			if ia1, ok := sIdx(bf.From, 1); ok {
+				co[ia1] -= 1
+			}
+			id := varIdx["d."+bf.Name]
+			co[id] -= mu
+			addRow(co, -pCons.Replenishment*cons.WCET/budgets[bf.To])
+			// Bounds.
+			if bf.MaxContainers > 0 {
+				addRow(map[int]float64{id: 1}, float64(bf.MaxContainers-bf.InitialTokens))
+			}
+			if lo := bf.MinContainers - bf.InitialTokens; lo > 0 {
+				addRow(map[int]float64{id: -1}, -float64(lo))
+			}
+		}
+	}
+	// (10): Σ (ι + δ′ + 1)·ζ ≤ ς per memory.
+	for i := range c.Memories {
+		mem := &c.Memories[i]
+		co := map[int]float64{}
+		base := 0.0
+		nb := 0
+		for _, tg := range c.Graphs {
+			for j := range tg.Buffers {
+				bf := &tg.Buffers[j]
+				if bf.Memory != mem.Name {
+					continue
+				}
+				z := float64(bf.EffectiveContainerSize())
+				co[varIdx["d."+bf.Name]] += z
+				base += z * float64(bf.InitialTokens+1)
+				nb++
+			}
+		}
+		if nb > 0 {
+			addRow(co, float64(mem.Capacity)-base)
+		}
+	}
+
+	sol, err := lp.Solve(&lp.Problem{C: obj, A: rows, B: rhs, Free: free})
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if sol.Status != lp.StatusOptimal {
+		return nil, sol.Iterations, false, nil
+	}
+	capacities := map[string]int{}
+	for _, tg := range c.Graphs {
+		for i := range tg.Buffers {
+			bf := &tg.Buffers[i]
+			dp := sol.X[varIdx["d."+bf.Name]]
+			gamma := bf.InitialTokens + int(math.Ceil(dp-roundTol))
+			if gamma < 1 {
+				gamma = 1
+			}
+			if bf.MinContainers > 0 && gamma < bf.MinContainers {
+				gamma = bf.MinContainers
+			}
+			capacities[bf.Name] = gamma
+		}
+	}
+	return capacities, sol.Iterations, true, nil
+}
+
+// TwoPhaseBufferFirst runs the reverse classical flow: phase 1 fixes every
+// buffer capacity (from caps, or from each buffer's MaxContainers when caps
+// is nil), phase 2 minimizes the weighted sum of budgets with the cone
+// program restricted to fixed δ′.
+func TwoPhaseBufferFirst(c *taskgraph.Config, caps map[string]int, opt Options) (*Result, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	fixed := map[string]float64{}
+	capacities := map[string]int{}
+	for _, tg := range c.Graphs {
+		for i := range tg.Buffers {
+			bf := &tg.Buffers[i]
+			gamma := 0
+			if caps != nil {
+				gamma = caps[bf.Name]
+			} else {
+				gamma = bf.MaxContainers
+			}
+			if gamma <= 0 {
+				return nil, fmt.Errorf("core: buffer-first baseline needs a capacity for buffer %q", bf.Name)
+			}
+			if gamma < bf.InitialTokens || (bf.MaxContainers > 0 && gamma > bf.MaxContainers) ||
+				(bf.MinContainers > 0 && gamma < bf.MinContainers) {
+				res.Status = StatusInfeasible
+				return res, nil
+			}
+			capacities[bf.Name] = gamma
+			fixed[bf.Name] = float64(gamma - bf.InitialTokens)
+		}
+	}
+	// Memory capacity precheck with the fixed capacities.
+	for i := range c.Memories {
+		mem := &c.Memories[i]
+		use := 0
+		for _, tg := range c.Graphs {
+			for j := range tg.Buffers {
+				bf := &tg.Buffers[j]
+				if bf.Memory == mem.Name {
+					use += capacities[bf.Name] * bf.EffectiveContainerSize()
+				}
+			}
+		}
+		if use > mem.Capacity {
+			res.Status = StatusInfeasible
+			return res, nil
+		}
+	}
+
+	m, err := buildModel(c, fixed)
+	if err != nil {
+		return nil, err
+	}
+	prob, err := m.b.Build()
+	if err != nil {
+		return nil, err
+	}
+	sol, err := socp.Solve(prob, opt.Solver)
+	if err != nil {
+		return nil, err
+	}
+	res.SolverStatus = sol.Status
+	res.SolverIterations = sol.Iterations
+	switch sol.Status {
+	case socp.StatusOptimal:
+	case socp.StatusPrimalInfeasible:
+		res.Status = StatusInfeasible
+		return res, nil
+	default:
+		res.Status = StatusError
+		return res, nil
+	}
+	res.ContinuousObjective = sol.PrimalObj
+	res.ContinuousBudgets = map[string]float64{}
+	g := c.EffectiveGranularity()
+	mapping := &taskgraph.Mapping{Budgets: map[string]float64{}, Capacities: capacities}
+	for _, tg := range c.Graphs {
+		for i := range tg.Tasks {
+			w := &tg.Tasks[i]
+			bp := sol.X[m.beta[w.Name]]
+			res.ContinuousBudgets[w.Name] = bp
+			mapping.Budgets[w.Name] = g * math.Ceil(bp/g-roundTol)
+		}
+	}
+	mapping.Objective = objective(c, mapping)
+	res.Mapping = mapping
+	res.Status = StatusOptimal
+	if !opt.SkipVerification {
+		v, err := dfmodel.Verify(c, mapping)
+		if err != nil {
+			return nil, err
+		}
+		res.Verification = v
+		if !v.OK {
+			res.Status = StatusError
+			return res, fmt.Errorf("core: buffer-first mapping failed verification: %v", v.Problems)
+		}
+	}
+	return res, nil
+}

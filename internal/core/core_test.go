@@ -1,0 +1,324 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/taskgraph"
+)
+
+// betaStar is the analytic optimum budget for the paper's producer-consumer
+// T1 at buffer capacity d (DESIGN.md §3): the binding cycle gives
+// 2(40−β) + 2·40/β ≤ 10d, the self-loop gives β ≥ 4.
+func betaStar(d int) float64 {
+	b := 80 - 10*float64(d)
+	return math.Max(4, (b+math.Sqrt(b*b+640))/4)
+}
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func solveOK(t *testing.T, c *taskgraph.Config) *Result {
+	t.Helper()
+	r, err := Solve(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != StatusOptimal {
+		t.Fatalf("status = %v (solver %v)", r.Status, r.SolverStatus)
+	}
+	if r.Verification == nil || !r.Verification.OK {
+		t.Fatalf("verification missing or failed: %+v", r.Verification)
+	}
+	return r
+}
+
+// TestFig2aBudgets reproduces the exact trade-off curve of Figure 2(a).
+func TestFig2aBudgets(t *testing.T) {
+	caps := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	points, err := SweepBufferCaps(gen.PaperT1(0), nil, caps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pt := range points {
+		if pt.Result.Status != StatusOptimal {
+			t.Fatalf("cap %d: status %v", pt.Cap, pt.Result.Status)
+		}
+		want := betaStar(pt.Cap)
+		// The objective valley is almost flat along βa−βb (curvature ~1/β³),
+		// so compare the sharply-determined mean and bound the asymmetry.
+		mean := (pt.Result.Mapping.Budgets["wa"] + pt.Result.Mapping.Budgets["wb"]) / 2
+		if !almostEqual(mean, want, 1e-5) {
+			t.Fatalf("cap %d: mean budget = %v, want %v", pt.Cap, mean, want)
+		}
+		if diff := math.Abs(pt.Result.Mapping.Budgets["wa"] - pt.Result.Mapping.Budgets["wb"]); diff > 0.05 {
+			t.Fatalf("cap %d: budget asymmetry %v", pt.Cap, diff)
+		}
+		// The buffer capacity must reach the cap (budgets preferred).
+		if got := pt.Result.Mapping.Capacities["bab"]; got != pt.Cap {
+			t.Fatalf("cap %d: capacity = %d", pt.Cap, got)
+		}
+		_ = i
+	}
+}
+
+// TestFig2aMonotone: the trade-off curve is non-increasing and convex-ish;
+// its derivative (Fig 2(b)) is positive and decreasing.
+func TestFig2aMonotone(t *testing.T) {
+	caps := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	points, err := SweepBufferCaps(gen.PaperT1(0), nil, caps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev float64 = math.Inf(1)
+	var prevDelta float64 = math.Inf(1)
+	for i, pt := range points {
+		b := pt.Result.Mapping.Budgets["wa"]
+		if b > prev+1e-6 {
+			t.Fatalf("cap %d: budget increased: %v > %v", pt.Cap, b, prev)
+		}
+		if i > 0 {
+			delta := prev - b
+			if delta < -1e-6 {
+				t.Fatalf("negative budget reduction at cap %d", pt.Cap)
+			}
+			if delta > prevDelta+1e-6 {
+				t.Fatalf("budget reduction increased at cap %d: %v > %v (trade-off not concave)",
+					pt.Cap, delta, prevDelta)
+			}
+			prevDelta = delta
+		}
+		prev = b
+	}
+	// Capacity 10 minimises the budgets (the paper's observation): budget
+	// equals the rate bound 4 there.
+	if last := points[len(points)-1].Result.Mapping.Budgets["wa"]; !almostEqual(last, 4, 1e-4) {
+		t.Fatalf("budget at cap 10 = %v, want 4", last)
+	}
+}
+
+// TestFig3TopologyDependence reproduces the qualitative content of Figure 3:
+// in the three-task chain, wb interacts with two buffers, so the optimizer
+// reduces wa's and wc's budgets first and keeps wb's budget high.
+func TestFig3TopologyDependence(t *testing.T) {
+	for _, cap := range []int{2, 4, 6, 8} {
+		r := solveOK(t, gen.PaperT2(cap))
+		ba := r.Mapping.Budgets["wa"]
+		bb := r.Mapping.Budgets["wb"]
+		bc := r.Mapping.Budgets["wc"]
+		if !almostEqual(ba, bc, 1e-4) {
+			t.Fatalf("cap %d: wa and wc budgets differ: %v vs %v", cap, ba, bc)
+		}
+		if bb < ba-1e-6 {
+			t.Fatalf("cap %d: expected budget(wb) ≥ budget(wa), got %v < %v", cap, bb, ba)
+		}
+		// For intermediate caps the difference is strict.
+		if cap >= 2 && cap <= 8 {
+			if bb-ba < 1 {
+				t.Fatalf("cap %d: wb's budget (%v) not clearly above wa's (%v)", cap, bb, ba)
+			}
+		}
+	}
+}
+
+// TestSolveInfeasibleRate: a period below the reachable rate must be
+// reported infeasible (rate constraint ϱχ/β ≤ µ with β ≤ ϱ forces µ ≥ χ).
+func TestSolveInfeasibleRate(t *testing.T) {
+	c := gen.PaperT1(0)
+	c.Graphs[0].Period = 0.5 // χ = 1 > 0.5: unreachable even with β = ϱ
+	r, err := Solve(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != StatusInfeasible {
+		t.Fatalf("status = %v, want infeasible", r.Status)
+	}
+}
+
+// TestSolveInfeasibleCap: buffer cap too small for any budget.
+func TestSolveInfeasibleCap(t *testing.T) {
+	// At cap d, feasibility needs 2(40−β) + 80/β ≤ 10d for some β ≤ 40;
+	// minimum of the left side over β ∈ (0,40] is at β=40: 2 Mcycles...
+	// with β = 40: 0 + 2 = 2 ≤ 10d always. So instead shrink the period.
+	c := gen.PaperT1(1)
+	c.Graphs[0].Period = 4.2
+	// Cycle: 2(40−β) + 2·40β⁻¹·1 ≤ 4.2·1 → at best β=40: 2·1 = 2 ≤ 4.2 OK;
+	// but rate: 40/β ≤ 4.2 → β ≥ 9.52; cycle with β = 40: 0+2 ≤ 4.2 fine.
+	// Feasible after all. Force infeasibility with processor sharing:
+	c.Graphs[0].Tasks[0].Processor = "p1"
+	c.Graphs[0].Tasks[1].Processor = "p1"
+	// Now βa + βb ≤ 40, each ≥ 40/4.2 ≈ 9.52, cycle needs
+	// 80 − (βa+βb) + 40/βa + 40/βb ≤ 4.2 → even βa+βb = 40 gives ≥ 44 > 4.2.
+	r, err := Solve(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != StatusInfeasible {
+		t.Fatalf("status = %v, want infeasible", r.Status)
+	}
+}
+
+// TestSolveMemoryForcesTradeoff: a tight memory forces smaller buffers and
+// therefore larger budgets.
+func TestSolveMemoryForcesTradeoff(t *testing.T) {
+	loose := solveOK(t, gen.PaperT1(0))
+	tight := gen.PaperT1(0)
+	tight.Memories[0].Capacity = 5 // ≤ 5 units → γ ≤ 4 (constraint 10 adds 1)
+	rt := solveOK(t, tight)
+	if rt.Mapping.Capacities["bab"] > 5 {
+		t.Fatalf("memory-capped capacity = %d", rt.Mapping.Capacities["bab"])
+	}
+	if rt.Mapping.Budgets["wa"] <= loose.Mapping.Budgets["wa"] {
+		t.Fatalf("tight memory should raise budgets: %v vs %v",
+			rt.Mapping.Budgets["wa"], loose.Mapping.Budgets["wa"])
+	}
+	if rt.Verification.MemoryUse["m1"] > 5 {
+		t.Fatalf("memory overused: %d", rt.Verification.MemoryUse["m1"])
+	}
+}
+
+// TestGranularityRounding: budgets are multiples of g and conservative.
+func TestGranularityRounding(t *testing.T) {
+	c := gen.PaperT1(1)
+	c.Granularity = 0.5
+	r := solveOK(t, c)
+	for task, b := range r.Mapping.Budgets {
+		q := b / 0.5
+		if math.Abs(q-math.Round(q)) > 1e-9 {
+			t.Fatalf("budget(%s) = %v is not a multiple of 0.5", task, b)
+		}
+		if b < r.ContinuousBudgets[task]-1e-9 {
+			t.Fatalf("budget(%s) rounded down", task)
+		}
+		if b > r.ContinuousBudgets[task]+0.5+1e-9 {
+			t.Fatalf("budget(%s) overshoots by more than one granule", task)
+		}
+	}
+}
+
+// TestMinContainersRespected.
+func TestMinContainersRespected(t *testing.T) {
+	c := gen.PaperT1(0)
+	c.Graphs[0].Buffers[0].MinContainers = 7
+	r := solveOK(t, c)
+	if r.Mapping.Capacities["bab"] < 7 {
+		t.Fatalf("capacity %d below MinContainers", r.Mapping.Capacities["bab"])
+	}
+}
+
+// TestInitialTokensHandled: pre-filled containers shift the data/space split
+// but the mapping must still verify.
+func TestInitialTokensHandled(t *testing.T) {
+	c := gen.PaperT1(0)
+	c.Graphs[0].Buffers[0].InitialTokens = 3
+	r := solveOK(t, c)
+	if r.Mapping.Capacities["bab"] < 3 {
+		t.Fatalf("capacity %d below initial tokens", r.Mapping.Capacities["bab"])
+	}
+}
+
+// TestSolveRing: cyclic task graphs (initial tokens close the ring) solve
+// and verify.
+func TestSolveRing(t *testing.T) {
+	c := gen.Ring(4, 2)
+	r := solveOK(t, c)
+	if len(r.Mapping.Budgets) != 4 || len(r.Mapping.Capacities) != 4 {
+		t.Fatalf("mapping shape wrong: %+v", r.Mapping)
+	}
+}
+
+// TestSolveSharedProcessors: tasks of one chain share two processors; the
+// budget capacity constraint couples them.
+func TestSolveSharedProcessors(t *testing.T) {
+	c := gen.Chain(gen.ChainOptions{Tasks: 6, SharedProcessors: 2})
+	r := solveOK(t, c)
+	for _, p := range []string{"p0", "p1"} {
+		if load := r.Verification.ProcessorLoads[p]; load > 40+1e-9 {
+			t.Fatalf("processor %s overloaded: %v", p, load)
+		}
+	}
+}
+
+// TestSolveRandomJobsVerified: random multi-job systems solve and verify.
+func TestSolveRandomJobsVerified(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		c := gen.RandomJobs(gen.RandomOptions{Seed: seed})
+		r, err := Solve(c, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if r.Status != StatusOptimal {
+			t.Fatalf("seed %d: status %v (solver %v)", seed, r.Status, r.SolverStatus)
+		}
+		if !r.Verification.OK {
+			t.Fatalf("seed %d: verification failed: %v", seed, r.Verification.Problems)
+		}
+	}
+}
+
+// TestSolveMultiJobSharedResources: two paper graphs share processors; the
+// solver must split the budget capacity between them.
+func TestSolveMultiJobSharedResources(t *testing.T) {
+	c := gen.PaperT1(0)
+	tg2 := &taskgraph.TaskGraph{
+		Name:   "T1b",
+		Period: 10,
+		Tasks: []taskgraph.Task{
+			{Name: "xa", Processor: "p1", WCET: 1, BudgetWeight: 1000},
+			{Name: "xb", Processor: "p2", WCET: 1, BudgetWeight: 1000},
+		},
+		Buffers: []taskgraph.Buffer{
+			{Name: "xab", From: "xa", To: "xb", Memory: "m1"},
+		},
+	}
+	c.Graphs = append(c.Graphs, tg2)
+	r := solveOK(t, c)
+	loadP1 := r.Mapping.Budgets["wa"] + r.Mapping.Budgets["xa"]
+	if loadP1 > 40+1e-9 {
+		t.Fatalf("p1 overloaded: %v", loadP1)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if StatusOptimal.String() != "optimal" || StatusInfeasible.String() != "infeasible" ||
+		StatusError.String() != "error" || Status(42).String() != "Status(42)" {
+		t.Fatal("Status strings broken")
+	}
+	if BudgetMinimalRate.String() != "minimal-rate" || BudgetFairShare.String() != "fair-share" ||
+		BudgetPolicy(9).String() != "BudgetPolicy(9)" {
+		t.Fatal("BudgetPolicy strings broken")
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	if _, err := SweepBufferCaps(gen.PaperT1(0), nil, []int{0}, Options{}); err == nil {
+		t.Fatal("cap 0 accepted")
+	}
+	if _, err := SweepBufferCaps(gen.PaperT1(0), []string{"nope"}, []int{1}, Options{}); err == nil {
+		t.Fatal("unknown buffer accepted")
+	}
+	bad := gen.PaperT1(0)
+	bad.Graphs = nil
+	if _, err := SweepBufferCaps(bad, nil, []int{1}, Options{}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestSweepDoesNotMutateInput(t *testing.T) {
+	c := gen.PaperT1(0)
+	if _, err := SweepBufferCaps(c, nil, []int{3}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Graphs[0].Buffers[0].MaxContainers != 0 {
+		t.Fatal("sweep mutated the input configuration")
+	}
+}
+
+func TestBudgetSumHelper(t *testing.T) {
+	pt := TradeoffPoint{Cap: 1, Result: &Result{Status: StatusInfeasible}}
+	if !math.IsNaN(pt.BudgetSum()) {
+		t.Fatal("BudgetSum of infeasible point should be NaN")
+	}
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dfmodel"
+	"repro/internal/gen"
+	"repro/internal/taskgraph"
+)
+
+// TestLatencyConstraintForcesBudgets: tightening a latency bound forces
+// larger budgets (the latency-budget trade-off), and every resulting mapping
+// actually meets the bound under independent analysis.
+func TestLatencyConstraintForcesBudgets(t *testing.T) {
+	base := solveOK(t, gen.PaperT1(0))
+	baseBudget := base.Mapping.Budgets["wa"]
+
+	prev := baseBudget
+	for _, bound := range []float64{80, 40, 20} {
+		c := gen.PaperT1(0)
+		c.Graphs[0].Latencies = []taskgraph.LatencyConstraint{
+			{From: "wa", To: "wb", Bound: bound},
+		}
+		r := solveOK(t, c)
+		lat, err := dfmodel.LatencyBound(c, c.Graphs[0], r.Mapping, "wa", "wb")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lat > bound*(1+1e-6) {
+			t.Fatalf("bound %v: achieved latency %v exceeds it", bound, lat)
+		}
+		b := r.Mapping.Budgets["wa"]
+		if b < prev-1e-6 {
+			t.Fatalf("bound %v: tighter latency decreased the budget (%v after %v)", bound, b, prev)
+		}
+		prev = b
+	}
+	// The tightest bound must have cost something relative to no bound.
+	if prev <= baseBudget+1e-6 {
+		t.Fatalf("20-Mcycle latency bound did not raise budgets above %v", baseBudget)
+	}
+}
+
+// TestLatencyConstraintInfeasible: a bound below the physical floor (two
+// WCETs at full budget) is infeasible.
+func TestLatencyConstraintInfeasible(t *testing.T) {
+	c := gen.PaperT1(0)
+	// Even with β = ϱ (no latency stage), the chain needs ϱχ/β ≥ 1 Mcycle
+	// per task; ask for less than one task's processing time.
+	c.Graphs[0].Latencies = []taskgraph.LatencyConstraint{
+		{From: "wa", To: "wb", Bound: 0.5},
+	}
+	r, err := Solve(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != StatusInfeasible {
+		t.Fatalf("status %v, want infeasible", r.Status)
+	}
+}
+
+// TestLatencyValidation: unknown tasks and bad bounds are rejected.
+func TestLatencyValidation(t *testing.T) {
+	c := gen.PaperT1(0)
+	c.Graphs[0].Latencies = []taskgraph.LatencyConstraint{{From: "nope", To: "wb", Bound: 10}}
+	if err := c.Validate(); err == nil {
+		t.Fatal("unknown source accepted")
+	}
+	c.Graphs[0].Latencies = []taskgraph.LatencyConstraint{{From: "wa", To: "nope", Bound: 10}}
+	if err := c.Validate(); err == nil {
+		t.Fatal("unknown sink accepted")
+	}
+	c.Graphs[0].Latencies = []taskgraph.LatencyConstraint{{From: "wa", To: "wb", Bound: 0}}
+	if err := c.Validate(); err == nil {
+		t.Fatal("zero bound accepted")
+	}
+}
+
+// TestLatencyVerifyCatchesViolation: Verify flags mappings that miss a
+// latency bound.
+func TestLatencyVerifyCatchesViolation(t *testing.T) {
+	c := gen.PaperT1(0)
+	c.Graphs[0].Latencies = []taskgraph.LatencyConstraint{{From: "wa", To: "wb", Bound: 30}}
+	// Rate-minimal budgets have per-task latency (ϱ−β) + ϱχ/β = 36+10 = 46
+	// each — way over 30 — although throughput holds with 10 containers.
+	bad := &taskgraph.Mapping{
+		Budgets:    map[string]float64{"wa": 4, "wb": 4},
+		Capacities: map[string]int{"bab": 10},
+	}
+	v, err := dfmodel.Verify(c, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.OK {
+		t.Fatal("latency violation not caught")
+	}
+}

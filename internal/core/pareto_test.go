@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestParetoFrontierT1(t *testing.T) {
+	points, err := ParetoFrontier(gen.PaperT1(0), 9, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) < 2 {
+		t.Fatalf("expected a frontier with ≥ 2 points, got %d", len(points))
+	}
+	// Sorted by budget, memory strictly decreasing along it (nondominated).
+	for i := 1; i < len(points); i++ {
+		if points[i].BudgetTotal < points[i-1].BudgetTotal-1e-9 {
+			t.Fatal("frontier not sorted by budget")
+		}
+		if points[i].MemoryTotal >= points[i-1].MemoryTotal {
+			t.Fatalf("frontier not strictly trading memory for budget: %d then %d units",
+				points[i-1].MemoryTotal, points[i].MemoryTotal)
+		}
+	}
+	// The budget-heavy end reaches the rate bound (2 tasks × 4 Mcycles) and
+	// the buffer-heavy end reaches 1 container.
+	first, last := points[0], points[len(points)-1]
+	if first.BudgetTotal > 8+1e-3 {
+		t.Fatalf("budget-minimal end = %v, want ~8", first.BudgetTotal)
+	}
+	if last.MemoryTotal != 1 {
+		t.Fatalf("memory-minimal end = %d containers, want 1", last.MemoryTotal)
+	}
+	// Every point is verified.
+	for _, p := range points {
+		if p.Result.Verification == nil || !p.Result.Verification.OK {
+			t.Fatal("unverified frontier point")
+		}
+	}
+}
+
+func TestParetoFrontierInvalid(t *testing.T) {
+	bad := gen.PaperT1(0)
+	bad.Graphs = nil
+	if _, err := ParetoFrontier(bad, 4, Options{}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestParetoInfeasibleSkipped(t *testing.T) {
+	c := gen.PaperT1(0)
+	c.Graphs[0].Period = 0.5 // infeasible at any weights
+	points, err := ParetoFrontier(c, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 0 {
+		t.Fatalf("expected empty frontier, got %d points", len(points))
+	}
+}
+
+func TestNondominatedFilter(t *testing.T) {
+	pts := []ParetoPoint{
+		{BudgetTotal: 10, MemoryTotal: 5},
+		{BudgetTotal: 12, MemoryTotal: 5}, // dominated (worse budget, same memory)
+		{BudgetTotal: 8, MemoryTotal: 9},
+		{BudgetTotal: 10, MemoryTotal: 5}, // duplicate
+	}
+	out := nondominated(pts)
+	if len(out) != 2 {
+		t.Fatalf("expected 2 nondominated points, got %d: %+v", len(out), out)
+	}
+	if out[0].BudgetTotal != 8 || out[1].BudgetTotal != 10 {
+		t.Fatalf("wrong frontier: %+v", out)
+	}
+}

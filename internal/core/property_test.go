@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+)
+
+// TestPeriodMonotonicity: relaxing every throughput requirement can never
+// increase the optimal objective (feasible sets only grow).
+func TestPeriodMonotonicity(t *testing.T) {
+	f := func(seed int64) bool {
+		c := gen.RandomJobs(gen.RandomOptions{Seed: seed % 1000})
+		base, err := Solve(c, Options{})
+		if err != nil || base.Status != StatusOptimal {
+			return false
+		}
+		relaxed := c.Clone()
+		for _, tg := range relaxed.Graphs {
+			tg.Period *= 1.5
+		}
+		rel, err := Solve(relaxed, Options{})
+		if err != nil || rel.Status != StatusOptimal {
+			return false
+		}
+		// Compare relaxed continuous optima (rounding adds ±granule noise).
+		return rel.ContinuousObjective <= base.ContinuousObjective*(1+1e-6)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMemoryMonotonicity: enlarging every memory can never increase the
+// optimal objective.
+func TestMemoryMonotonicity(t *testing.T) {
+	f := func(seed int64) bool {
+		c := gen.RandomJobs(gen.RandomOptions{Seed: seed % 1000})
+		// Make memories tight enough to matter.
+		for i := range c.Memories {
+			c.Memories[i].Capacity = 64
+		}
+		base, err := Solve(c, Options{})
+		if err != nil {
+			return false
+		}
+		bigger := c.Clone()
+		for i := range bigger.Memories {
+			bigger.Memories[i].Capacity *= 4
+		}
+		big, err := Solve(bigger, Options{})
+		if err != nil || big.Status == StatusError {
+			return false
+		}
+		if base.Status == StatusInfeasible {
+			return true // more memory can only help; nothing to compare
+		}
+		if base.Status != StatusOptimal || big.Status != StatusOptimal {
+			return false
+		}
+		return big.ContinuousObjective <= base.ContinuousObjective*(1+1e-6)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWeightScaleInvariance: multiplying ALL weights by a constant changes
+// the objective by that constant but not the mapping.
+func TestWeightScaleInvariance(t *testing.T) {
+	c := gen.PaperT1(4)
+	base, err := Solve(c, Options{})
+	if err != nil || base.Status != StatusOptimal {
+		t.Fatalf("%v %v", base.Status, err)
+	}
+	scaled := c.Clone()
+	const k = 7.5
+	for _, tg := range scaled.Graphs {
+		for i := range tg.Tasks {
+			tg.Tasks[i].BudgetWeight = tg.Tasks[i].EffectiveBudgetWeight() * k
+		}
+		for i := range tg.Buffers {
+			tg.Buffers[i].SizeWeight = tg.Buffers[i].EffectiveSizeWeight() * k
+		}
+	}
+	sc, err := Solve(scaled, Options{})
+	if err != nil || sc.Status != StatusOptimal {
+		t.Fatalf("%v %v", sc.Status, err)
+	}
+	for task, b := range base.Mapping.Budgets {
+		if math.Abs(sc.Mapping.Budgets[task]-b) > 1e-3 {
+			t.Fatalf("budget(%s) changed under weight scaling: %v vs %v", task, sc.Mapping.Budgets[task], b)
+		}
+	}
+	for buf, g := range base.Mapping.Capacities {
+		if sc.Mapping.Capacities[buf] != g {
+			t.Fatalf("capacity(%s) changed under weight scaling", buf)
+		}
+	}
+	if math.Abs(sc.Mapping.Objective-k*base.Mapping.Objective) > 1e-3*k*base.Mapping.Objective {
+		t.Fatalf("objective did not scale: %v vs %v·%v", sc.Mapping.Objective, k, base.Mapping.Objective)
+	}
+}
+
+// TestCapMonotonicity: widening a buffer cap can never increase the
+// continuous optimum (quick-checked over random seeds and caps).
+func TestCapMonotonicity(t *testing.T) {
+	f := func(seed int64, rawCap uint8) bool {
+		cap := 1 + int(rawCap%9)
+		c := gen.PaperT1(cap)
+		tight, err := Solve(c, Options{})
+		if err != nil || tight.Status != StatusOptimal {
+			return false
+		}
+		c2 := gen.PaperT1(cap + 1)
+		wide, err := Solve(c2, Options{})
+		if err != nil || wide.Status != StatusOptimal {
+			return false
+		}
+		return wide.ContinuousObjective <= tight.ContinuousObjective*(1+1e-8)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRoundingAlwaysConservative: for random instances the rounded mapping's
+// model still meets the period (already verified inside Solve, asserted here
+// explicitly against the returned analysis).
+func TestRoundingAlwaysConservative(t *testing.T) {
+	for seed := int64(20); seed < 35; seed++ {
+		c := gen.RandomJobs(gen.RandomOptions{Seed: seed})
+		r, err := Solve(c, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if r.Status != StatusOptimal {
+			t.Fatalf("seed %d: %v", seed, r.Status)
+		}
+		for _, tg := range c.Graphs {
+			if mp := r.Verification.GraphMinPeriods[tg.Name]; mp > tg.Period*(1+1e-6) {
+				t.Fatalf("seed %d graph %s: model period %v > %v", seed, tg.Name, mp, tg.Period)
+			}
+		}
+		// Budgets are at least the rate minimum ϱχ/µ.
+		for _, tg := range c.Graphs {
+			for _, w := range tg.Tasks {
+				p, _ := c.Processor(w.Processor)
+				min := p.Replenishment * w.WCET / tg.Period
+				if r.Mapping.Budgets[w.Name] < min*(1-1e-6) {
+					t.Fatalf("seed %d: budget(%s) = %v below rate minimum %v",
+						seed, w.Name, r.Mapping.Budgets[w.Name], min)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dfmodel"
+	"repro/internal/socp"
+	"repro/internal/taskgraph"
+)
+
+// roundTol absorbs interior-point noise before ceiling operations, so a
+// relaxed value of 4.0000000003 rounds to 4 granules rather than 5.
+const roundTol = 1e-6
+
+// Solve computes budgets and buffer capacities for every task graph in the
+// configuration simultaneously (Algorithm 1) and verifies the result.
+func Solve(c *taskgraph.Config, opt Options) (*Result, error) {
+	m, err := buildModel(c, nil)
+	if err != nil {
+		return nil, err
+	}
+	prob, err := m.b.Build()
+	if err != nil {
+		return nil, err
+	}
+	sol, err := socp.Solve(prob, opt.Solver)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		SolverStatus:     sol.Status,
+		SolverIterations: sol.Iterations,
+	}
+	switch sol.Status {
+	case socp.StatusOptimal:
+		// proceed
+	case socp.StatusPrimalInfeasible:
+		res.Status = StatusInfeasible
+		return res, nil
+	default:
+		res.Status = StatusError
+		return res, nil
+	}
+
+	res.ContinuousObjective = sol.PrimalObj
+	res.ContinuousBudgets = map[string]float64{}
+	res.ContinuousDeltas = map[string]float64{}
+	mapping := &taskgraph.Mapping{
+		Budgets:    map[string]float64{},
+		Capacities: map[string]int{},
+	}
+	g := c.EffectiveGranularity()
+	for _, tg := range c.Graphs {
+		for i := range tg.Tasks {
+			w := &tg.Tasks[i]
+			bp := sol.X[m.beta[w.Name]]
+			res.ContinuousBudgets[w.Name] = bp
+			// β = g·⌈β′/g⌉ (conservative: Constraint (9) pre-paid +g).
+			mapping.Budgets[w.Name] = g * math.Ceil(bp/g-roundTol)
+		}
+		for i := range tg.Buffers {
+			bf := &tg.Buffers[i]
+			dp := sol.X[m.delta[bf.Name]]
+			res.ContinuousDeltas[bf.Name] = dp
+			// γ = ι + ⌈δ′⌉, at least one container (γ: B → N*).
+			gamma := bf.InitialTokens + int(math.Ceil(dp-roundTol))
+			if gamma < 1 {
+				gamma = 1
+			}
+			if bf.MinContainers > 0 && gamma < bf.MinContainers {
+				gamma = bf.MinContainers
+			}
+			mapping.Capacities[bf.Name] = gamma
+		}
+	}
+	mapping.Objective = objective(c, mapping)
+	res.Mapping = mapping
+	res.Status = StatusOptimal
+
+	if !opt.SkipVerification {
+		v, err := dfmodel.Verify(c, mapping)
+		if err != nil {
+			return nil, err
+		}
+		res.Verification = v
+		if !v.OK {
+			// Should be unreachable given the conservative rounding; if it
+			// happens it is a bug worth surfacing loudly.
+			res.Status = StatusError
+			return res, fmt.Errorf("core: rounded mapping failed verification: %v", v.Problems)
+		}
+	}
+	return res, nil
+}
+
+// objective evaluates the paper's weighted cost (5) on a rounded mapping,
+// counting full buffer capacities γ·ζ (the δ′ formulation differs only by
+// the constant ι terms).
+func objective(c *taskgraph.Config, m *taskgraph.Mapping) float64 {
+	var obj float64
+	for _, tg := range c.Graphs {
+		for i := range tg.Tasks {
+			w := &tg.Tasks[i]
+			obj += w.EffectiveBudgetWeight() * m.Budgets[w.Name]
+		}
+		for i := range tg.Buffers {
+			bf := &tg.Buffers[i]
+			obj += bf.EffectiveSizeWeight() * float64(bf.EffectiveContainerSize()) *
+				float64(m.Capacities[bf.Name])
+		}
+	}
+	return obj
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/taskgraph"
+)
+
+// TradeoffPoint is one point of a budget/buffer trade-off sweep.
+type TradeoffPoint struct {
+	// Cap is the buffer capacity cap applied at this point (containers).
+	Cap int
+	// Result is the joint solve under that cap.
+	Result *Result
+}
+
+// SweepBufferCaps explores the budget/buffer trade-off the way the paper's
+// experiments do: it solves the configuration once per cap value, with the
+// cap applied as MaxContainers to the named buffers (all buffers when
+// buffers is nil). The input configuration is not modified.
+func SweepBufferCaps(c *taskgraph.Config, buffers []string, caps []int, opt Options) ([]TradeoffPoint, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	want := map[string]bool{}
+	for _, b := range buffers {
+		want[b] = true
+	}
+	found := map[string]bool{}
+	points := make([]TradeoffPoint, 0, len(caps))
+	for _, cap := range caps {
+		if cap < 1 {
+			return nil, fmt.Errorf("core: buffer cap %d < 1", cap)
+		}
+		cc := c.Clone()
+		for _, tg := range cc.Graphs {
+			for i := range tg.Buffers {
+				bf := &tg.Buffers[i]
+				if buffers == nil || want[bf.Name] {
+					bf.MaxContainers = cap
+					found[bf.Name] = true
+				}
+			}
+		}
+		r, err := Solve(cc, opt)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, TradeoffPoint{Cap: cap, Result: r})
+	}
+	for b := range want {
+		if !found[b] {
+			return nil, fmt.Errorf("core: swept buffer %q not found in configuration", b)
+		}
+	}
+	return points, nil
+}
+
+// BudgetSum returns the total allocated budget of a result's mapping, or NaN
+// when the point is infeasible. Convenient for plotting trade-off curves.
+func (p TradeoffPoint) BudgetSum() float64 {
+	if p.Result == nil || p.Result.Mapping == nil {
+		return math.NaN()
+	}
+	var sum float64
+	for _, b := range p.Result.Mapping.Budgets {
+		sum += b
+	}
+	return sum
+}

@@ -1,0 +1,201 @@
+package dfmodel
+
+import (
+	"fmt"
+
+	"repro/internal/sdf"
+	"repro/internal/srdf"
+	"repro/internal/taskgraph"
+)
+
+// Repetitions computes the repetition vector of a (possibly multi-rate) task
+// graph: how many times each task fires per graph iteration. Single-rate
+// graphs return all ones.
+func Repetitions(tg *taskgraph.TaskGraph) (map[string]int, error) {
+	g := sdf.NewGraph()
+	ids := map[string]sdf.ActorID{}
+	for i := range tg.Tasks {
+		ids[tg.Tasks[i].Name] = g.AddActor(tg.Tasks[i].Name, 1)
+	}
+	for i := range tg.Buffers {
+		b := &tg.Buffers[i]
+		g.AddEdge(b.Name, ids[b.From], ids[b.To], b.EffectiveProd(), b.EffectiveCons(), b.InitialTokens)
+	}
+	q, err := g.RepetitionVector()
+	if err != nil {
+		return nil, fmt.Errorf("dfmodel: graph %s: %w", tg.Name, err)
+	}
+	out := map[string]int{}
+	for name, id := range ids {
+		out[name] = q[id]
+	}
+	return out, nil
+}
+
+// buildExpandedGraph constructs the SRDF model of a multi-rate task graph:
+// each task w becomes q(w) two-actor firing copies (v1_j latency, v2_j rate)
+// with a sequencing cycle through the v2 copies (one token — firings of a
+// task are serial, exactly like the single-rate self-loop), and each buffer
+// becomes the expanded data and space dependencies of its token algebra.
+// For unit rates and q ≡ 1 this reduces to the §II-C construction.
+func buildExpandedGraph(c *taskgraph.Config, tg *taskgraph.TaskGraph, m *taskgraph.Mapping) (*srdf.Graph, *Index, error) {
+	reps, err := Repetitions(tg)
+	if err != nil {
+		return nil, nil, err
+	}
+	g := srdf.NewGraph()
+	idx := &Index{
+		Tasks:       map[string]TaskActors{},
+		TaskCopies:  map[string][]TaskActors{},
+		Buffers:     map[string]BufferEdges{},
+		Repetitions: reps,
+	}
+	for i := range tg.Tasks {
+		w := &tg.Tasks[i]
+		p, ok := c.Processor(w.Processor)
+		if !ok {
+			return nil, nil, fmt.Errorf("dfmodel: task %q on unknown processor %q", w.Name, w.Processor)
+		}
+		beta, ok := m.Budgets[w.Name]
+		if !ok || beta <= 0 || beta > p.Replenishment+1e-9 {
+			return nil, nil, fmt.Errorf("dfmodel: task %q has missing or invalid budget", w.Name)
+		}
+		q := reps[w.Name]
+		copies := make([]TaskActors, q)
+		for j := 0; j < q; j++ {
+			v1 := g.AddActor(fmt.Sprintf("%s#%d.v1", w.Name, j), maxf(0, p.Replenishment-beta))
+			v2 := g.AddActor(fmt.Sprintf("%s#%d.v2", w.Name, j), p.Replenishment*w.WCET/beta)
+			g.AddEdge(fmt.Sprintf("%s#%d.v1v2", w.Name, j), v1, v2, 0)
+			copies[j] = TaskActors{V1: v1, V2: v2}
+		}
+		for j := 0; j < q; j++ {
+			next := (j + 1) % q
+			tok := 0
+			if next == 0 {
+				tok = 1
+			}
+			g.AddEdge(fmt.Sprintf("%s.seq%d", w.Name, j), copies[j].V2, copies[next].V2, tok)
+		}
+		idx.Tasks[w.Name] = copies[0]
+		idx.TaskCopies[w.Name] = copies
+	}
+	for i := range tg.Buffers {
+		b := &tg.Buffers[i]
+		gamma, ok := m.Capacities[b.Name]
+		if !ok || gamma < 1 || gamma < b.InitialTokens {
+			return nil, nil, fmt.Errorf("dfmodel: buffer %q has missing or invalid capacity", b.Name)
+		}
+		deps, err := ExpandBuffer(b, reps[b.From], reps[b.To], gamma)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, d := range deps {
+			var src, dst srdf.ActorID
+			if d.Space {
+				src = idx.TaskCopies[b.To][d.SrcCopy].V2
+				dst = idx.TaskCopies[b.From][d.DstCopy].V1
+			} else {
+				src = idx.TaskCopies[b.From][d.SrcCopy].V2
+				dst = idx.TaskCopies[b.To][d.DstCopy].V1
+			}
+			kind := "data"
+			if d.Space {
+				kind = "space"
+			}
+			g.AddEdge(fmt.Sprintf("%s.%s[%d->%d]", b.Name, kind, d.SrcCopy, d.DstCopy), src, dst, d.Delta)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return g, idx, nil
+}
+
+// BufferDep is one expanded dependency of a multi-rate buffer: the DstCopy-th
+// firing of the destination task waits for tokens produced Delta iterations
+// earlier by the SrcCopy-th firing of the source task. Space dependencies
+// run from the consumer (which frees containers) back to the producer.
+type BufferDep struct {
+	SrcCopy, DstCopy int
+	Delta            int
+	Space            bool
+}
+
+// ExpandBuffer computes the expanded data and space dependencies of a buffer
+// with production rate p, consumption rate c, ι initial tokens and capacity
+// γ, for repetition counts qFrom/qTo of its endpoint tasks. Duplicate
+// dependencies (same endpoints, same distance) are merged; dominated ones
+// (same endpoints, larger distance) are kept only as the minimum, which is
+// the binding constraint.
+func ExpandBuffer(b *taskgraph.Buffer, qFrom, qTo, gamma int) ([]BufferDep, error) {
+	p, cRate := b.EffectiveProd(), b.EffectiveCons()
+	if p*qFrom != cRate*qTo {
+		return nil, fmt.Errorf("dfmodel: buffer %q rates are inconsistent with the repetition vector", b.Name)
+	}
+	iota := b.InitialTokens
+	space := gamma - iota
+	if space < 0 {
+		return nil, fmt.Errorf("dfmodel: buffer %q capacity below initial tokens", b.Name)
+	}
+	perIter := p * qFrom
+	type key struct {
+		src, dst int
+		space    bool
+	}
+	min := map[key]int{}
+	add := func(src, dst, delta int, isSpace bool) {
+		k := key{src, dst, isSpace}
+		if cur, ok := min[k]; !ok || delta < cur {
+			min[k] = delta
+		}
+	}
+	// Data: consumption index T of firing (nStar, j) maps back to the
+	// producing firing ⌊(T−ι)/p⌋.
+	nStar := (iota+gamma)/maxi(1, perIter) + 2
+	for j := 0; j < qTo; j++ {
+		for k := 0; k < cRate; k++ {
+			t := (nStar*qTo+j)*cRate + k
+			produced := t - iota
+			if produced < 0 {
+				return nil, fmt.Errorf("dfmodel: buffer %q expansion underflow", b.Name)
+			}
+			f := produced / p
+			add(f%qFrom, j, nStar-f/qFrom, false)
+		}
+	}
+	// Space: the producer consumes p space tokens per firing from a reverse
+	// channel that starts with γ−ι tokens and receives c per consumer firing.
+	for l := 0; l < qFrom; l++ {
+		for k := 0; k < p; k++ {
+			t := (nStar*qFrom+l)*p + k
+			freed := t - space
+			if freed < 0 {
+				return nil, fmt.Errorf("dfmodel: buffer %q space expansion underflow", b.Name)
+			}
+			f := freed / cRate
+			add(f%qTo, l, nStar-f/qTo, true)
+		}
+	}
+	out := make([]BufferDep, 0, len(min))
+	for k, d := range min {
+		if d < 0 {
+			return nil, fmt.Errorf("dfmodel: buffer %q produced a negative dependency distance", b.Name)
+		}
+		out = append(out, BufferDep{SrcCopy: k.src, DstCopy: k.dst, Delta: d, Space: k.space})
+	}
+	return out, nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,75 @@
+package dfmodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/taskgraph"
+)
+
+func TestLatencyBoundT1(t *testing.T) {
+	c := t1Config()
+	m := mapping(20, 5) // β = 20 → ρ(v1) = 20, ρ(v2) = 2; cycle 44 ≤ 50 feasible
+	got, err := LatencyBound(c, c.Graphs[0], m, "wa", "wb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ASAP PAS with period 10: s(a1)=0, s(a2) = 20, s(b1) = 22, s(b2) = 42;
+	// bound = 42 + 2 − 0 = 44.
+	want := 44.0
+	if math.Abs(got-want) > 1e-6 {
+		t.Fatalf("latency = %v, want %v", got, want)
+	}
+}
+
+func TestLatencyBoundAtLeastProcessing(t *testing.T) {
+	c := t1Config()
+	for _, beta := range []float64{5, 10, 20, 39} {
+		m := mapping(beta, 10)
+		got, err := LatencyBound(c, c.Graphs[0], m, "wa", "wb")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The bound covers at least both latency-rate stages:
+		// 2(ϱ−β) + 2·ϱχ/β.
+		min := 2*(40-beta) + 2*40/beta
+		if got < min-1e-9 {
+			t.Fatalf("β=%v: latency %v below the physical floor %v", beta, got, min)
+		}
+	}
+}
+
+func TestLatencyBoundMonotoneInBudget(t *testing.T) {
+	c := t1Config()
+	prev := math.Inf(1)
+	for _, beta := range []float64{5, 10, 20, 39} {
+		got, err := LatencyBound(c, c.Graphs[0], mapping(beta, 10), "wa", "wb")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got > prev+1e-9 {
+			t.Fatalf("latency increased with budget: %v after %v", got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestLatencyBoundErrors(t *testing.T) {
+	c := t1Config()
+	m := mapping(10, 5)
+	if _, err := LatencyBound(c, c.Graphs[0], m, "nope", "wb"); err == nil {
+		t.Fatal("unknown source accepted")
+	}
+	if _, err := LatencyBound(c, c.Graphs[0], m, "wa", "nope"); err == nil {
+		t.Fatal("unknown sink accepted")
+	}
+	// Infeasible mapping: no PAS.
+	if _, err := LatencyBound(c, c.Graphs[0], mapping(20, 1), "wa", "wb"); err == nil {
+		t.Fatal("infeasible mapping accepted")
+	}
+	// Broken mapping: build error.
+	bad := &taskgraph.Mapping{Budgets: map[string]float64{"wa": 10}, Capacities: map[string]int{"bab": 5}}
+	if _, err := LatencyBound(c, c.Graphs[0], bad, "wa", "wb"); err == nil {
+		t.Fatal("incomplete mapping accepted")
+	}
+}

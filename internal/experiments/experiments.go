@@ -1,0 +1,216 @@
+// Package experiments regenerates every figure and table of the paper's
+// evaluation (§V), plus the extension experiments called out in DESIGN.md:
+//
+//	Fig2    — the budget/buffer trade-off of the producer-consumer graph T1
+//	          (Figure 2(a)) and its per-container budget reduction
+//	          (Figure 2(b));
+//	Fig3    — the topology dependence of the trade-off on the three-task
+//	          chain T2 (Figure 3);
+//	Runtime — the "run-time is milliseconds" claim on the paper instances;
+//	Scalability — solve time and interior-point iterations versus task count
+//	          (the polynomial-complexity claim);
+//	JointVsTwoPhase — the false-negative motivation: two-phase flows fail on
+//	          instances the joint formulation solves;
+//	AblationRounding — the cost of the non-integral relaxation, measured
+//	          against brute-force integer optima on small instances.
+//
+// Each experiment returns structured rows (consumed by the tests and the
+// benchmarks) and has a Render function producing the terminal table/plot
+// (consumed by cmd/bbtrade).
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/textplot"
+)
+
+// Fig2Point is one x-position of Figure 2: the optimum at a buffer capacity
+// cap.
+type Fig2Point struct {
+	Cap int
+	// Budget is the mean budget of wa and wb in Mcycles. (The optimum is
+	// symmetric, but the objective valley is almost flat along βa−βb, so
+	// individual budgets carry solver noise of ~1e-3 while their mean is
+	// determined to ~1e-6.)
+	Budget float64
+	// DeltaBudget is the reduction relative to the previous capacity
+	// (Figure 2(b)); 0 for the first point.
+	DeltaBudget float64
+	// Capacity is the buffer capacity the optimizer chose (= Cap here).
+	Capacity int
+}
+
+// Fig2 sweeps the buffer capacity of the paper's producer-consumer graph T1
+// from 1 to 10 containers and returns the budget trade-off curve.
+func Fig2(opt core.Options) ([]Fig2Point, error) {
+	caps := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	points, err := core.SweepBufferCaps(gen.PaperT1(0), nil, caps, opt)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Fig2Point, 0, len(points))
+	prev := 0.0
+	for i, pt := range points {
+		if pt.Result.Status != core.StatusOptimal {
+			return nil, fmt.Errorf("experiments: T1 at cap %d: %v", pt.Cap, pt.Result.Status)
+		}
+		p := Fig2Point{
+			Cap:      pt.Cap,
+			Budget:   (pt.Result.Mapping.Budgets["wa"] + pt.Result.Mapping.Budgets["wb"]) / 2,
+			Capacity: pt.Result.Mapping.Capacities["bab"],
+		}
+		if i > 0 {
+			p.DeltaBudget = prev - p.Budget
+		}
+		prev = p.Budget
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// RenderFig2a renders the Figure 2(a) table and plot.
+func RenderFig2a(points []Fig2Point) string {
+	tb := textplot.NewTable("capacity (containers)", "budget (Mcycles)")
+	xs := make([]float64, len(points))
+	ys := make([]float64, len(points))
+	for i, p := range points {
+		tb.AddRow(p.Cap, p.Budget)
+		xs[i] = float64(p.Cap)
+		ys[i] = p.Budget
+	}
+	plot := textplot.NewPlot("Figure 2(a): budget-buffer size trade-off (T1)",
+		"buffer capacity (containers)", "budget (Mcycles)", xs)
+	plot.AddSeries("budget", ys)
+	return tb.String() + "\n" + plot.String()
+}
+
+// RenderFig2b renders the Figure 2(b) table and plot (budget reduction per
+// added container, for capacities 2..10).
+func RenderFig2b(points []Fig2Point) string {
+	tb := textplot.NewTable("capacity (containers)", "delta budget (Mcycles)")
+	var xs, ys []float64
+	for _, p := range points[1:] {
+		tb.AddRow(p.Cap, p.DeltaBudget)
+		xs = append(xs, float64(p.Cap))
+		ys = append(ys, p.DeltaBudget)
+	}
+	plot := textplot.NewPlot("Figure 2(b): derivative of budget reduction (T1)",
+		"buffer capacity (containers)", "delta budget (Mcycles)", xs)
+	plot.AddSeries("delta", ys)
+	return tb.String() + "\n" + plot.String()
+}
+
+// Fig3Point is one x-position of Figure 3: the optimum of the three-task
+// chain T2 when both buffer capacities are capped.
+type Fig3Point struct {
+	Cap int
+	// BudgetWB is the middle task's budget; BudgetWAWC the mean budget of
+	// the two (symmetric) outer tasks.
+	BudgetWB, BudgetWAWC float64
+}
+
+// Fig3 sweeps both buffer capacities of T2 from 1 to 10 and records how the
+// optimizer distributes the budget reduction: wb interacts with two buffers,
+// so wa and wc are reduced first.
+func Fig3(opt core.Options) ([]Fig3Point, error) {
+	caps := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	points, err := core.SweepBufferCaps(gen.PaperT2(0), nil, caps, opt)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Fig3Point, 0, len(points))
+	for _, pt := range points {
+		if pt.Result.Status != core.StatusOptimal {
+			return nil, fmt.Errorf("experiments: T2 at cap %d: %v", pt.Cap, pt.Result.Status)
+		}
+		out = append(out, Fig3Point{
+			Cap:        pt.Cap,
+			BudgetWB:   pt.Result.Mapping.Budgets["wb"],
+			BudgetWAWC: (pt.Result.Mapping.Budgets["wa"] + pt.Result.Mapping.Budgets["wc"]) / 2,
+		})
+	}
+	return out, nil
+}
+
+// RenderFig3 renders the Figure 3 table and plot.
+func RenderFig3(points []Fig3Point) string {
+	tb := textplot.NewTable("capacity (containers)", "budget wb (Mcycles)", "budget wa, wc (Mcycles)")
+	xs := make([]float64, len(points))
+	wb := make([]float64, len(points))
+	wawc := make([]float64, len(points))
+	for i, p := range points {
+		tb.AddRow(p.Cap, p.BudgetWB, p.BudgetWAWC)
+		xs[i] = float64(p.Cap)
+		wb[i] = p.BudgetWB
+		wawc[i] = p.BudgetWAWC
+	}
+	plot := textplot.NewPlot("Figure 3: topology dependence of the trade-off (T2)",
+		"both buffer capacities (containers)", "budget (Mcycles)", xs)
+	plot.AddSeries("task wb", wb)
+	plot.AddSeries("tasks wa, wc", wawc)
+	return tb.String() + "\n" + plot.String()
+}
+
+// RuntimeRow is one row of the solver run-time table (§V: "The run-time is
+// milliseconds").
+type RuntimeRow struct {
+	Instance   string
+	Tasks      int
+	Buffers    int
+	Iterations int
+	Millis     float64
+}
+
+// Runtime solves the paper's two experiment instances (T1 across its sweep
+// and T2 across its sweep) and reports wall-clock solve times.
+func Runtime(opt core.Options) ([]RuntimeRow, error) {
+	rows := []RuntimeRow{}
+	instances := []struct {
+		name string
+		cap  int
+		t2   bool
+	}{
+		{"T1 cap=1", 1, false},
+		{"T1 cap=5", 5, false},
+		{"T1 cap=10", 10, false},
+		{"T2 cap=1", 1, true},
+		{"T2 cap=5", 5, true},
+		{"T2 cap=10", 10, true},
+	}
+	for _, inst := range instances {
+		cfg := gen.PaperT1(inst.cap)
+		if inst.t2 {
+			cfg = gen.PaperT2(inst.cap)
+		}
+		start := time.Now()
+		r, err := core.Solve(cfg, opt)
+		elapsed := time.Since(start)
+		if err != nil {
+			return nil, err
+		}
+		if r.Status != core.StatusOptimal {
+			return nil, fmt.Errorf("experiments: %s: %v", inst.name, r.Status)
+		}
+		rows = append(rows, RuntimeRow{
+			Instance:   inst.name,
+			Tasks:      len(cfg.Graphs[0].Tasks),
+			Buffers:    len(cfg.Graphs[0].Buffers),
+			Iterations: r.SolverIterations,
+			Millis:     float64(elapsed.Microseconds()) / 1000,
+		})
+	}
+	return rows, nil
+}
+
+// RenderRuntime renders the run-time table.
+func RenderRuntime(rows []RuntimeRow) string {
+	tb := textplot.NewTable("instance", "tasks", "buffers", "IPM iterations", "solve time (ms)")
+	for _, r := range rows {
+		tb.AddRow(r.Instance, r.Tasks, r.Buffers, r.Iterations, r.Millis)
+	}
+	return tb.String()
+}

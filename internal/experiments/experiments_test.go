@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// paperFig2a are the analytic values behind Figure 2(a) (DESIGN.md §3).
+func paperFig2a(d int) float64 {
+	b := 80 - 10*float64(d)
+	return math.Max(4, (b+math.Sqrt(b*b+640))/4)
+}
+
+func TestFig2MatchesPaperCurve(t *testing.T) {
+	points, err := Fig2(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 10 {
+		t.Fatalf("expected 10 points, got %d", len(points))
+	}
+	for _, p := range points {
+		want := paperFig2a(p.Cap)
+		if math.Abs(p.Budget-want) > 1e-3 {
+			t.Fatalf("cap %d: budget %v, paper value %v", p.Cap, p.Budget, want)
+		}
+		if p.Capacity != p.Cap {
+			t.Fatalf("cap %d: capacity %d", p.Cap, p.Capacity)
+		}
+	}
+	// Fig 2(b): deltas are positive and decreasing; capacity 10 minimises.
+	for i := 2; i < len(points); i++ {
+		if points[i].DeltaBudget < -1e-6 {
+			t.Fatalf("negative delta at cap %d", points[i].Cap)
+		}
+		if points[i].DeltaBudget > points[i-1].DeltaBudget+1e-6 {
+			t.Fatalf("delta increased at cap %d", points[i].Cap)
+		}
+	}
+	if last := points[9]; math.Abs(last.Budget-4) > 1e-3 {
+		t.Fatalf("budget at capacity 10 = %v, want 4 (the rate bound)", last.Budget)
+	}
+}
+
+func TestFig2Render(t *testing.T) {
+	points, err := Fig2(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := RenderFig2a(points)
+	if !strings.Contains(a, "Figure 2(a)") || !strings.Contains(a, "budget") {
+		t.Fatalf("Fig2a render incomplete:\n%s", a)
+	}
+	b := RenderFig2b(points)
+	if !strings.Contains(b, "Figure 2(b)") || !strings.Contains(b, "delta") {
+		t.Fatalf("Fig2b render incomplete:\n%s", b)
+	}
+}
+
+func TestFig3ShapeMatchesPaper(t *testing.T) {
+	points, err := Fig3(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 10 {
+		t.Fatalf("expected 10 points, got %d", len(points))
+	}
+	sawStrictGap := false
+	for i, p := range points {
+		// wb interacts with two buffers: it is never reduced below wa/wc.
+		if p.BudgetWB < p.BudgetWAWC-1e-6 {
+			t.Fatalf("cap %d: wb (%v) below wa/wc (%v)", p.Cap, p.BudgetWB, p.BudgetWAWC)
+		}
+		if p.BudgetWB > p.BudgetWAWC+1 {
+			sawStrictGap = true
+		}
+		// Budgets are non-increasing in the capacity.
+		if i > 0 {
+			if p.BudgetWAWC > points[i-1].BudgetWAWC+1e-6 ||
+				p.BudgetWB > points[i-1].BudgetWB+1e-6 {
+				t.Fatalf("cap %d: budgets increased", p.Cap)
+			}
+		}
+	}
+	if !sawStrictGap {
+		t.Fatal("expected wb's budget to stay strictly above wa/wc somewhere in the sweep")
+	}
+	// At capacity 10 everything reaches the rate bound 4.
+	if last := points[9]; math.Abs(last.BudgetWB-4) > 1e-3 || math.Abs(last.BudgetWAWC-4) > 1e-3 {
+		t.Fatalf("cap 10 budgets: wb=%v wa/wc=%v, want 4", last.BudgetWB, last.BudgetWAWC)
+	}
+}
+
+func TestFig3Render(t *testing.T) {
+	points, err := Fig3(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderFig3(points)
+	if !strings.Contains(out, "Figure 3") || !strings.Contains(out, "task wb") {
+		t.Fatalf("Fig3 render incomplete:\n%s", out)
+	}
+}
+
+func TestRuntimeMilliseconds(t *testing.T) {
+	rows, err := Runtime(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("expected 6 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		// The paper reports milliseconds on 2010 hardware; anything beyond a
+		// second would falsify the reproduction.
+		if r.Millis > 1000 {
+			t.Fatalf("%s took %v ms", r.Instance, r.Millis)
+		}
+		if r.Iterations <= 0 {
+			t.Fatalf("%s reported no iterations", r.Instance)
+		}
+	}
+	if out := RenderRuntime(rows); !strings.Contains(out, "solve time (ms)") {
+		t.Fatal("runtime render incomplete")
+	}
+}
+
+func TestScalability(t *testing.T) {
+	points, err := Scalability([]int{2, 4, 8}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("expected 3 points, got %d", len(points))
+	}
+	for _, p := range points {
+		if p.Iterations <= 0 || p.Variables <= 0 {
+			t.Fatalf("bad point %+v", p)
+		}
+	}
+	// Iteration counts must stay bounded (interior-point methods converge in
+	// tens of iterations regardless of size).
+	for _, p := range points {
+		if p.Iterations > 100 {
+			t.Fatalf("%d tasks needed %d iterations", p.Tasks, p.Iterations)
+		}
+	}
+	if out := RenderScalability(points); !strings.Contains(out, "tasks") {
+		t.Fatal("scalability render incomplete")
+	}
+}
+
+func TestJointVsTwoPhase(t *testing.T) {
+	rows, err := JointVsTwoPhase(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]CompareRow{}
+	for _, r := range rows {
+		byName[r.Instance] = r
+	}
+	// The capped T1 is the paper's false negative: joint solves it,
+	// budget-first does not.
+	fn := byName["T1 (buffer cap 4)"]
+	if fn.Joint != core.StatusOptimal {
+		t.Fatalf("joint failed on capped T1: %v", fn.Joint)
+	}
+	if fn.BudgetFirst != core.StatusInfeasible {
+		t.Fatalf("budget-first should be a false negative on capped T1, got %v", fn.BudgetFirst)
+	}
+	// The memory-tight T2 defeats both two-phase flows.
+	mt := byName["T2 (memory cap 12)"]
+	if mt.Joint != core.StatusOptimal || mt.BudgetFirst != core.StatusInfeasible ||
+		mt.BufferFirst != core.StatusInfeasible {
+		t.Fatalf("memory-tight T2: joint=%v budget-first=%v buffer-first=%v",
+			mt.Joint, mt.BudgetFirst, mt.BufferFirst)
+	}
+	// On the uncapped T1 all flows succeed and the joint objective is best.
+	un := byName["T1 (uncapped)"]
+	if un.Joint != core.StatusOptimal || un.BudgetFirst != core.StatusOptimal {
+		t.Fatalf("uncapped T1 failed: %v %v", un.Joint, un.BudgetFirst)
+	}
+	if un.JointObj > un.BudgetFirstObj+1e-3 {
+		t.Fatalf("joint (%v) worse than budget-first (%v) on uncapped T1", un.JointObj, un.BudgetFirstObj)
+	}
+	if out := RenderJointVsTwoPhase(rows); !strings.Contains(out, "budget-first") {
+		t.Fatal("comparison render incomplete")
+	}
+}
+
+func TestLatencyTradeoff(t *testing.T) {
+	points, err := LatencyTradeoff(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prevBudget float64
+	sawInfeasible := false
+	for i, p := range points {
+		if !p.Feasible {
+			sawInfeasible = true
+			continue
+		}
+		if sawInfeasible {
+			t.Fatalf("feasible point after an infeasible one (bound %v)", p.Bound)
+		}
+		if p.Achieved > p.Bound*(1+1e-6) {
+			t.Fatalf("bound %v: achieved %v exceeds it", p.Bound, p.Achieved)
+		}
+		if i > 0 && p.Budget < prevBudget-1e-6 {
+			t.Fatalf("tighter bound %v decreased the budget (%v after %v)", p.Bound, p.Budget, prevBudget)
+		}
+		prevBudget = p.Budget
+	}
+	if !sawInfeasible {
+		t.Fatal("expected the tightest bounds to be infeasible")
+	}
+	if out := RenderLatencyTradeoff(points); !strings.Contains(out, "latency bound") {
+		t.Fatal("latency render incomplete")
+	}
+}
+
+func TestAblationRounding(t *testing.T) {
+	rows, err := AblationRounding(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// Ordering: relaxed ≤ integer ≤ rounded.
+		if r.ContinuousObj > r.IntegerObj+1e-3 {
+			t.Fatalf("cap %d: relaxed obj %v above integer optimum %v", r.Cap, r.ContinuousObj, r.IntegerObj)
+		}
+		if r.RoundedObj < r.IntegerObj-1e-9 {
+			t.Fatalf("cap %d: rounded obj %v beats the integer optimum %v (impossible)",
+				r.Cap, r.RoundedObj, r.IntegerObj)
+		}
+		// The rounding overhead is bounded by one granule per task (2×1000)
+		// plus one container.
+		if r.RoundedObj > r.IntegerObj+2*1000+1 {
+			t.Fatalf("cap %d: rounding overhead too large: %v vs %v", r.Cap, r.RoundedObj, r.IntegerObj)
+		}
+	}
+	if out := RenderAblation(rows); !strings.Contains(out, "integer optimum") {
+		t.Fatal("ablation render incomplete")
+	}
+}

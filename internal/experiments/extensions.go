@@ -1,0 +1,299 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dfmodel"
+	"repro/internal/gen"
+	"repro/internal/taskgraph"
+	"repro/internal/textplot"
+)
+
+// ScalabilityPoint is one size of the scalability sweep (experiment E5 in
+// DESIGN.md): a pipeline of n tasks solved jointly.
+type ScalabilityPoint struct {
+	Tasks      int
+	Variables  int // decision variables of the cone program
+	Iterations int
+	Millis     float64
+}
+
+// Scalability solves chains of increasing length and reports solve time and
+// interior-point iteration counts, supporting the paper's
+// polynomial-complexity claim.
+func Scalability(sizes []int, opt core.Options) ([]ScalabilityPoint, error) {
+	var out []ScalabilityPoint
+	for _, n := range sizes {
+		cfg := gen.Chain(gen.ChainOptions{Tasks: n})
+		start := time.Now()
+		r, err := core.Solve(cfg, opt)
+		elapsed := time.Since(start)
+		if err != nil {
+			return nil, err
+		}
+		if r.Status != core.StatusOptimal {
+			return nil, fmt.Errorf("experiments: chain of %d tasks: %v", n, r.Status)
+		}
+		// Variables: 2 start times per task (minus 1 pinned) + β′ + λ per
+		// task + δ′ per buffer.
+		vars := 2*n - 1 + 2*n + (n - 1)
+		out = append(out, ScalabilityPoint{
+			Tasks:      n,
+			Variables:  vars,
+			Iterations: r.SolverIterations,
+			Millis:     float64(elapsed.Microseconds()) / 1000,
+		})
+	}
+	return out, nil
+}
+
+// RenderScalability renders the scalability table.
+func RenderScalability(points []ScalabilityPoint) string {
+	tb := textplot.NewTable("tasks", "variables", "IPM iterations", "solve time (ms)")
+	for _, p := range points {
+		tb.AddRow(p.Tasks, p.Variables, p.Iterations, p.Millis)
+	}
+	return tb.String()
+}
+
+// CompareRow is one instance of the joint-versus-two-phase comparison
+// (experiment A2): the paper's motivation that separate budget and buffer
+// phases produce false negatives.
+type CompareRow struct {
+	Instance string
+	// Statuses of the three flows.
+	Joint, BudgetFirst, BufferFirst core.Status
+	// Objectives (weighted cost; NaN when not optimal).
+	JointObj, BudgetFirstObj, BufferFirstObj float64
+}
+
+// JointVsTwoPhase runs the three flows on instances designed to expose the
+// phase-ordering problem plus random multi-job systems.
+func JointVsTwoPhase(opt core.Options) ([]CompareRow, error) {
+	type instance struct {
+		name string
+		cfg  *taskgraph.Config
+	}
+	capped := gen.PaperT1(4)
+	memTight := gen.PaperT2(10)
+	memTight.Memories[0].Capacity = 12
+	instances := []instance{
+		{"T1 (buffer cap 4)", capped},
+		{"T2 (memory cap 12)", memTight},
+		{"T1 (uncapped)", gen.PaperT1(0)},
+	}
+	for seed := int64(0); seed < 3; seed++ {
+		instances = append(instances, instance{
+			fmt.Sprintf("random multi-job #%d", seed),
+			gen.RandomJobs(gen.RandomOptions{Seed: seed}),
+		})
+	}
+	var rows []CompareRow
+	for _, inst := range instances {
+		row := CompareRow{Instance: inst.name,
+			JointObj: math.NaN(), BudgetFirstObj: math.NaN(), BufferFirstObj: math.NaN()}
+		j, err := core.Solve(inst.cfg, opt)
+		if err != nil {
+			return nil, err
+		}
+		row.Joint = j.Status
+		if j.Mapping != nil {
+			row.JointObj = j.Mapping.Objective
+		}
+		bf, err := core.TwoPhaseBudgetFirst(inst.cfg, core.BudgetMinimalRate, opt)
+		if err != nil {
+			return nil, err
+		}
+		row.BudgetFirst = bf.Status
+		if bf.Mapping != nil {
+			row.BudgetFirstObj = bf.Mapping.Objective
+		}
+		// Buffer-first needs capacities: use each buffer's cap when present,
+		// otherwise the capacity the budget-first flow would have chosen (a
+		// realistic phase-1 heuristic); fall back to 16 containers.
+		caps := map[string]int{}
+		for _, tg := range inst.cfg.Graphs {
+			for i := range tg.Buffers {
+				b := &tg.Buffers[i]
+				switch {
+				case b.MaxContainers > 0:
+					caps[b.Name] = b.MaxContainers
+				case bf.Mapping != nil:
+					caps[b.Name] = bf.Mapping.Capacities[b.Name]
+				default:
+					caps[b.Name] = 16
+				}
+			}
+		}
+		bff, err := core.TwoPhaseBufferFirst(inst.cfg, caps, opt)
+		if err != nil {
+			return nil, err
+		}
+		row.BufferFirst = bff.Status
+		if bff.Mapping != nil {
+			row.BufferFirstObj = bff.Mapping.Objective
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderJointVsTwoPhase renders the comparison table.
+func RenderJointVsTwoPhase(rows []CompareRow) string {
+	tb := textplot.NewTable("instance", "joint", "obj", "budget-first", "obj", "buffer-first", "obj")
+	for _, r := range rows {
+		tb.AddRow(r.Instance, r.Joint.String(), r.JointObj,
+			r.BudgetFirst.String(), r.BudgetFirstObj,
+			r.BufferFirst.String(), r.BufferFirstObj)
+	}
+	return tb.String()
+}
+
+// AblationRow is one capacity of the rounding-ablation experiment (A1): the
+// relaxed optimum, the rounded mapping, and the true integer optimum found
+// by exhaustive search (granularity 1 Mcycle to keep the lattice small).
+type AblationRow struct {
+	Cap int
+	// ContinuousObj is the relaxed SOCP optimum of Algorithm 1.
+	ContinuousObj float64
+	// RoundedObj is the objective after conservative rounding.
+	RoundedObj float64
+	// IntegerObj is the exhaustive integer optimum.
+	IntegerObj float64
+}
+
+// AblationRounding quantifies the paper's "cost of potential sub-optimality"
+// from the non-integral approximations, on T1 with granularity 1 Mcycle.
+func AblationRounding(opt core.Options) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, cap := range []int{1, 2, 4, 6, 8, 10} {
+		cfg := gen.PaperT1(cap)
+		cfg.Granularity = 1 // 1 Mcycle lattice
+		r, err := core.Solve(cfg, opt)
+		if err != nil {
+			return nil, err
+		}
+		if r.Status != core.StatusOptimal {
+			return nil, fmt.Errorf("experiments: ablation at cap %d: %v", cap, r.Status)
+		}
+		intObj, err := integerOptimumT1(cfg, cap)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Cap:           cap,
+			ContinuousObj: r.ContinuousObjective,
+			RoundedObj:    r.Mapping.Objective,
+			IntegerObj:    intObj,
+		})
+	}
+	return rows, nil
+}
+
+// integerOptimumT1 exhaustively searches integer budgets (1..40 Mcycles) and
+// capacities (1..cap) of the T1 instance for the minimum weighted objective
+// among mappings that pass full SRDF verification.
+func integerOptimumT1(cfg *taskgraph.Config, cap int) (float64, error) {
+	best := math.Inf(1)
+	for gamma := 1; gamma <= cap; gamma++ {
+		for ba := 1; ba <= 40; ba++ {
+			for bb := 1; bb <= 40; bb++ {
+				m := &taskgraph.Mapping{
+					Budgets:    map[string]float64{"wa": float64(ba), "wb": float64(bb)},
+					Capacities: map[string]int{"bab": gamma},
+				}
+				obj := 1000*float64(ba+bb) + float64(gamma)
+				if obj >= best {
+					continue
+				}
+				v, err := dfmodel.Verify(cfg, m)
+				if err != nil {
+					return 0, err
+				}
+				if v.OK {
+					best = obj
+				}
+			}
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0, fmt.Errorf("experiments: no feasible integer mapping at cap %d", cap)
+	}
+	return best, nil
+}
+
+// LatencyPoint is one bound of the latency/budget trade-off sweep
+// (extension: latency constraints are affine in the cone program, §IV-style).
+type LatencyPoint struct {
+	// Bound is the end-to-end latency bound (Mcycles) imposed on T1's
+	// wa → wb path.
+	Bound float64
+	// Budget is the resulting (mean) task budget.
+	Budget float64
+	// Capacity is the chosen buffer capacity.
+	Capacity int
+	// Achieved is the best latency of the rounded mapping.
+	Achieved float64
+	// Feasible reports whether a mapping exists under the bound.
+	Feasible bool
+}
+
+// LatencyTradeoff sweeps an end-to-end latency bound on the paper's T1 and
+// records how budgets must grow as the bound tightens: the latency/budget
+// analogue of Figure 2's throughput/buffer trade-off.
+func LatencyTradeoff(opt core.Options) ([]LatencyPoint, error) {
+	// The physical floor is two processing stages at full budget,
+	// 2·ϱχ/ϱ = 2 Mcycles; bounds below it are infeasible.
+	bounds := []float64{120, 100, 80, 60, 40, 30, 20, 10, 5, 3, 1.5}
+	var out []LatencyPoint
+	for _, bound := range bounds {
+		cfg := gen.PaperT1(0)
+		cfg.Graphs[0].Latencies = []taskgraph.LatencyConstraint{
+			{From: "wa", To: "wb", Bound: bound},
+		}
+		r, err := core.Solve(cfg, opt)
+		if err != nil {
+			return nil, err
+		}
+		pt := LatencyPoint{Bound: bound}
+		if r.Status == core.StatusOptimal {
+			pt.Feasible = true
+			pt.Budget = (r.Mapping.Budgets["wa"] + r.Mapping.Budgets["wb"]) / 2
+			pt.Capacity = r.Mapping.Capacities["bab"]
+			lat, err := dfmodel.LatencyBound(cfg, cfg.Graphs[0], r.Mapping, "wa", "wb")
+			if err != nil {
+				return nil, err
+			}
+			pt.Achieved = lat
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// RenderLatencyTradeoff renders the latency sweep table.
+func RenderLatencyTradeoff(points []LatencyPoint) string {
+	tb := textplot.NewTable("latency bound (Mcycles)", "mean budget (Mcycles)",
+		"capacity", "achieved latency", "feasible")
+	for _, p := range points {
+		if p.Feasible {
+			tb.AddRow(p.Bound, p.Budget, p.Capacity, p.Achieved, true)
+		} else {
+			tb.AddRow(p.Bound, math.NaN(), "-", math.NaN(), false)
+		}
+	}
+	return tb.String()
+}
+
+// RenderAblation renders the rounding-ablation table.
+func RenderAblation(rows []AblationRow) string {
+	tb := textplot.NewTable("capacity", "relaxed obj", "rounded obj", "integer optimum", "overhead %")
+	for _, r := range rows {
+		over := (r.RoundedObj - r.IntegerObj) / r.IntegerObj * 100
+		tb.AddRow(r.Cap, r.ContinuousObj, r.RoundedObj, r.IntegerObj, over)
+	}
+	return tb.String()
+}

@@ -1,0 +1,347 @@
+// Package gen constructs task-graph configurations: the two instances from
+// the paper's evaluation (§V) and parametric/random workloads used by the
+// scalability experiments, the stress tests, and the examples.
+//
+// All generators are deterministic: random variants take an explicit seed.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/taskgraph"
+)
+
+// PaperT1 returns the producer-consumer configuration of the paper's first
+// experiment: two tasks on private processors, ϱ = 40 Mcycles, χ = 1 Mcycle,
+// µ = 10 Mcycles, unit containers, weights preferring budget minimization.
+// maxContainers caps the buffer (0 = uncapped), which is how the paper
+// explores the trade-off of Figure 2.
+func PaperT1(maxContainers int) *taskgraph.Config {
+	return &taskgraph.Config{
+		Name: "paper-T1",
+		Processors: []taskgraph.Processor{
+			{Name: "p1", Replenishment: 40},
+			{Name: "p2", Replenishment: 40},
+		},
+		Memories:    []taskgraph.Memory{{Name: "m1", Capacity: 1 << 20}},
+		Granularity: taskgraph.DefaultGranularity,
+		Graphs: []*taskgraph.TaskGraph{{
+			Name:   "T1",
+			Period: 10,
+			Tasks: []taskgraph.Task{
+				// Budget weights ≫ buffer weights: "prefer minimisation of
+				// the budgets over minimisation of the buffer sizes".
+				{Name: "wa", Processor: "p1", WCET: 1, BudgetWeight: 1000},
+				{Name: "wb", Processor: "p2", WCET: 1, BudgetWeight: 1000},
+			},
+			Buffers: []taskgraph.Buffer{{
+				Name: "bab", From: "wa", To: "wb", Memory: "m1",
+				MaxContainers: maxContainers,
+			}},
+		}},
+	}
+}
+
+// PaperT2 returns the three-task chain of the paper's second experiment: T1
+// extended with task wc on processor p3 and buffer bbc, same parameters.
+// maxContainers caps both buffers (the paper constrains "both buffer
+// capacities"). The objective minimizes the sum of budgets.
+func PaperT2(maxContainers int) *taskgraph.Config {
+	return &taskgraph.Config{
+		Name: "paper-T2",
+		Processors: []taskgraph.Processor{
+			{Name: "p1", Replenishment: 40},
+			{Name: "p2", Replenishment: 40},
+			{Name: "p3", Replenishment: 40},
+		},
+		Memories:    []taskgraph.Memory{{Name: "m1", Capacity: 1 << 20}},
+		Granularity: taskgraph.DefaultGranularity,
+		Graphs: []*taskgraph.TaskGraph{{
+			Name:   "T2",
+			Period: 10,
+			Tasks: []taskgraph.Task{
+				{Name: "wa", Processor: "p1", WCET: 1, BudgetWeight: 1000},
+				{Name: "wb", Processor: "p2", WCET: 1, BudgetWeight: 1000},
+				{Name: "wc", Processor: "p3", WCET: 1, BudgetWeight: 1000},
+			},
+			Buffers: []taskgraph.Buffer{
+				{Name: "bab", From: "wa", To: "wb", Memory: "m1", MaxContainers: maxContainers},
+				{Name: "bbc", From: "wb", To: "wc", Memory: "m1", MaxContainers: maxContainers},
+			},
+		}},
+	}
+}
+
+// ChainOptions parameterizes Chain.
+type ChainOptions struct {
+	// Tasks is the chain length (≥ 1).
+	Tasks int
+	// Replenishment is ϱ for every processor (default 40).
+	Replenishment float64
+	// WCET is χ for every task (default 1).
+	WCET float64
+	// Period is µ (default 10).
+	Period float64
+	// SharedProcessors, when positive, binds the tasks round-robin onto this
+	// many processors instead of one private processor per task.
+	SharedProcessors int
+	// MaxContainers caps every buffer (0 = uncapped).
+	MaxContainers int
+}
+
+func (o ChainOptions) withDefaults() ChainOptions {
+	if o.Replenishment == 0 {
+		o.Replenishment = 40
+	}
+	if o.WCET == 0 {
+		o.WCET = 1
+	}
+	if o.Period == 0 {
+		o.Period = 10
+	}
+	return o
+}
+
+// Chain builds a pipeline of n tasks w0 → w1 → … → w(n−1), generalizing the
+// paper's T1 (n = 2) and T2 (n = 3).
+func Chain(opt ChainOptions) *taskgraph.Config {
+	opt = opt.withDefaults()
+	n := opt.Tasks
+	if n < 1 {
+		panic("gen: chain needs at least one task")
+	}
+	nProcs := n
+	if opt.SharedProcessors > 0 {
+		nProcs = opt.SharedProcessors
+	}
+	c := &taskgraph.Config{
+		Name:        fmt.Sprintf("chain-%d", n),
+		Memories:    []taskgraph.Memory{{Name: "m1", Capacity: 1 << 30}},
+		Granularity: taskgraph.DefaultGranularity,
+	}
+	for i := 0; i < nProcs; i++ {
+		c.Processors = append(c.Processors, taskgraph.Processor{
+			Name: fmt.Sprintf("p%d", i), Replenishment: opt.Replenishment,
+		})
+	}
+	tg := &taskgraph.TaskGraph{Name: fmt.Sprintf("chain%d", n), Period: opt.Period}
+	for i := 0; i < n; i++ {
+		tg.Tasks = append(tg.Tasks, taskgraph.Task{
+			Name:      fmt.Sprintf("w%d", i),
+			Processor: fmt.Sprintf("p%d", i%nProcs),
+			WCET:      opt.WCET,
+		})
+	}
+	for i := 0; i+1 < n; i++ {
+		tg.Buffers = append(tg.Buffers, taskgraph.Buffer{
+			Name:          fmt.Sprintf("b%d", i),
+			From:          fmt.Sprintf("w%d", i),
+			To:            fmt.Sprintf("w%d", i+1),
+			Memory:        "m1",
+			MaxContainers: opt.MaxContainers,
+		})
+	}
+	c.Graphs = []*taskgraph.TaskGraph{tg}
+	return c
+}
+
+// Ring builds a cyclic task graph w0 → w1 → … → w(n−1) → w0 where the
+// closing buffer starts with initialTokens filled containers (it must be
+// ≥ 1 or the graph deadlocks).
+func Ring(n int, initialTokens int) *taskgraph.Config {
+	c := Chain(ChainOptions{Tasks: n})
+	c.Name = fmt.Sprintf("ring-%d", n)
+	tg := c.Graphs[0]
+	tg.Name = fmt.Sprintf("ring%d", n)
+	tg.Buffers = append(tg.Buffers, taskgraph.Buffer{
+		Name:          "bclose",
+		From:          fmt.Sprintf("w%d", n-1),
+		To:            "w0",
+		Memory:        "m1",
+		InitialTokens: initialTokens,
+	})
+	return c
+}
+
+// RandomMultiRateChain generates a random consistent multi-rate pipeline of
+// n tasks: each buffer gets random production/consumption rates in [1, 3],
+// and WCETs are scaled so that rate-minimal budgets stay below loadFactor of
+// each (private) processor. Deterministic in the seed.
+func RandomMultiRateChain(seed int64, n int, loadFactor float64) *taskgraph.Config {
+	if n < 2 {
+		panic("gen: multi-rate chain needs at least two tasks")
+	}
+	if loadFactor == 0 {
+		loadFactor = 0.5
+	}
+	rng := rand.New(rand.NewSource(seed))
+	const rho, period = 40.0, 20.0
+	c := &taskgraph.Config{
+		Name:        fmt.Sprintf("mrchain-%d", seed),
+		Memories:    []taskgraph.Memory{{Name: "m0", Capacity: 1 << 20}},
+		Granularity: taskgraph.DefaultGranularity,
+	}
+	tg := &taskgraph.TaskGraph{Name: "mr", Period: period}
+	// Random rates per buffer; repetition counts follow along the chain.
+	// q(0) starts at 1 and q(i+1) = q(i)·prod/cons must stay integral: pick
+	// cons dividing q(i)·prod.
+	q := 1
+	qs := []int{1}
+	type rates struct{ p, c int }
+	var rs []rates
+	for i := 0; i+1 < n; i++ {
+		p := 1 + rng.Intn(3)
+		// Divisors of q·p.
+		qp := q * p
+		var divs []int
+		for d := 1; d <= 3 && d <= qp; d++ {
+			if qp%d == 0 {
+				divs = append(divs, d)
+			}
+		}
+		cRate := divs[rng.Intn(len(divs))]
+		rs = append(rs, rates{p, cRate})
+		q = qp / cRate
+		qs = append(qs, q)
+	}
+	for i := 0; i < n; i++ {
+		c.Processors = append(c.Processors, taskgraph.Processor{
+			Name: fmt.Sprintf("p%d", i), Replenishment: rho,
+		})
+		// Rate-minimal budget = q·ϱχ/µ ≤ loadFactor·ϱ ⟹ χ ≤ loadFactor·µ/q.
+		chi := loadFactor * period / float64(qs[i]) * (0.3 + 0.7*rng.Float64())
+		tg.Tasks = append(tg.Tasks, taskgraph.Task{
+			Name:      fmt.Sprintf("w%d", i),
+			Processor: fmt.Sprintf("p%d", i),
+			WCET:      chi,
+		})
+	}
+	for i, r := range rs {
+		tg.Buffers = append(tg.Buffers, taskgraph.Buffer{
+			Name:   fmt.Sprintf("b%d", i),
+			From:   fmt.Sprintf("w%d", i),
+			To:     fmt.Sprintf("w%d", i+1),
+			Memory: "m0",
+			Prod:   r.p,
+			Cons:   r.c,
+		})
+	}
+	c.Graphs = []*taskgraph.TaskGraph{tg}
+	return c
+}
+
+// RandomOptions parameterizes RandomJobs.
+type RandomOptions struct {
+	Seed int64
+	// Jobs is the number of independent task graphs (default 2).
+	Jobs int
+	// TasksPerJob bounds the tasks of each graph (default [2, 6]).
+	MinTasks, MaxTasks int
+	// Processors is the processor pool shared by all jobs (default 4).
+	Processors int
+	// Memories is the number of memories (default 2).
+	Memories int
+	// LoadFactor scales how much processor capacity the rate-minimal budgets
+	// of all tasks consume (default 0.35; keep below ~0.6 for feasible
+	// instances).
+	LoadFactor float64
+}
+
+func (o RandomOptions) withDefaults() RandomOptions {
+	if o.Jobs == 0 {
+		o.Jobs = 2
+	}
+	if o.MinTasks == 0 {
+		o.MinTasks = 2
+	}
+	if o.MaxTasks == 0 {
+		o.MaxTasks = 6
+	}
+	if o.Processors == 0 {
+		o.Processors = 4
+	}
+	if o.Memories == 0 {
+		o.Memories = 2
+	}
+	if o.LoadFactor == 0 {
+		o.LoadFactor = 0.35
+	}
+	return o
+}
+
+// RandomJobs generates a multi-job configuration: each job is a random
+// forward DAG (series-parallel-ish pipeline with skip edges), tasks bound to
+// random shared processors. Workloads are scaled so that rate-minimal
+// budgets consume about LoadFactor of each processor, which keeps instances
+// feasible when buffer capacities are unconstrained.
+func RandomJobs(opt RandomOptions) *taskgraph.Config {
+	opt = opt.withDefaults()
+	rng := rand.New(rand.NewSource(opt.Seed))
+	const rho = 40.0
+	c := &taskgraph.Config{
+		Name:        fmt.Sprintf("random-%d", opt.Seed),
+		Granularity: taskgraph.DefaultGranularity,
+	}
+	for i := 0; i < opt.Processors; i++ {
+		c.Processors = append(c.Processors, taskgraph.Processor{
+			Name: fmt.Sprintf("p%d", i), Replenishment: rho,
+			Overhead: float64(rng.Intn(3)),
+		})
+	}
+	for i := 0; i < opt.Memories; i++ {
+		c.Memories = append(c.Memories, taskgraph.Memory{
+			Name: fmt.Sprintf("m%d", i), Capacity: 1 << 20,
+		})
+	}
+	// Total tasks to distribute load over.
+	counts := make([]int, opt.Jobs)
+	total := 0
+	for j := range counts {
+		counts[j] = opt.MinTasks + rng.Intn(opt.MaxTasks-opt.MinTasks+1)
+		total += counts[j]
+	}
+	// Average tasks per processor determines the per-task budget share.
+	perTask := opt.LoadFactor * rho * float64(opt.Processors) / float64(total)
+	for j := 0; j < opt.Jobs; j++ {
+		n := counts[j]
+		period := 8 + rng.Float64()*8 // 8-16 Mcycles
+		tg := &taskgraph.TaskGraph{
+			Name:   fmt.Sprintf("job%d", j),
+			Period: period,
+		}
+		for i := 0; i < n; i++ {
+			// χ chosen so the rate-minimal budget ϱχ/µ ≈ perTask·U(0.5,1).
+			chi := perTask * (0.5 + rng.Float64()*0.5) * period / rho
+			tg.Tasks = append(tg.Tasks, taskgraph.Task{
+				Name:      fmt.Sprintf("j%dw%d", j, i),
+				Processor: fmt.Sprintf("p%d", rng.Intn(opt.Processors)),
+				WCET:      chi,
+			})
+		}
+		// Backbone pipeline plus random forward skip edges.
+		bid := 0
+		addBuf := func(from, to int) {
+			tg.Buffers = append(tg.Buffers, taskgraph.Buffer{
+				Name:          fmt.Sprintf("j%db%d", j, bid),
+				From:          fmt.Sprintf("j%dw%d", j, from),
+				To:            fmt.Sprintf("j%dw%d", j, to),
+				Memory:        fmt.Sprintf("m%d", rng.Intn(opt.Memories)),
+				ContainerSize: 1 + rng.Intn(4),
+			})
+			bid++
+		}
+		for i := 0; i+1 < n; i++ {
+			addBuf(i, i+1)
+		}
+		for k := 0; k < n/2; k++ {
+			from := rng.Intn(n)
+			to := rng.Intn(n)
+			if from < to {
+				addBuf(from, to)
+			}
+		}
+		c.Graphs = append(c.Graphs, tg)
+	}
+	return c
+}

@@ -1,0 +1,144 @@
+package gen
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestPaperT1Valid(t *testing.T) {
+	for _, cap := range []int{0, 1, 10} {
+		c := PaperT1(cap)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("cap %d: %v", cap, err)
+		}
+		if len(c.Graphs[0].Tasks) != 2 || len(c.Graphs[0].Buffers) != 1 {
+			t.Fatalf("cap %d: wrong shape", cap)
+		}
+		if c.Graphs[0].Buffers[0].MaxContainers != cap {
+			t.Fatalf("cap %d not applied", cap)
+		}
+		if c.Graphs[0].Period != 10 {
+			t.Fatal("period wrong")
+		}
+	}
+}
+
+func TestPaperT2Valid(t *testing.T) {
+	c := PaperT2(5)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Graphs[0].Tasks) != 3 || len(c.Graphs[0].Buffers) != 2 {
+		t.Fatal("wrong shape")
+	}
+	for _, b := range c.Graphs[0].Buffers {
+		if b.MaxContainers != 5 {
+			t.Fatal("cap not applied to both buffers")
+		}
+	}
+	// wb is in the middle: both buffers touch it.
+	if c.Graphs[0].Buffers[0].To != "wb" || c.Graphs[0].Buffers[1].From != "wb" {
+		t.Fatal("chain order wrong")
+	}
+}
+
+func TestChainShapes(t *testing.T) {
+	c := Chain(ChainOptions{Tasks: 5})
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Processors) != 5 || len(c.Graphs[0].Tasks) != 5 || len(c.Graphs[0].Buffers) != 4 {
+		t.Fatalf("chain shape wrong: %d procs %d tasks %d buffers",
+			len(c.Processors), len(c.Graphs[0].Tasks), len(c.Graphs[0].Buffers))
+	}
+	shared := Chain(ChainOptions{Tasks: 6, SharedProcessors: 2})
+	if err := shared.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(shared.Processors) != 2 {
+		t.Fatal("shared processors not applied")
+	}
+	if got := shared.TasksOn("p0"); len(got) != 3 {
+		t.Fatalf("round-robin binding wrong: %v", got)
+	}
+}
+
+func TestChainPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Chain(0) did not panic")
+		}
+	}()
+	Chain(ChainOptions{Tasks: 0})
+}
+
+func TestRingValid(t *testing.T) {
+	c := Ring(4, 2)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tg := c.Graphs[0]
+	if len(tg.Buffers) != 4 {
+		t.Fatalf("ring buffers = %d, want 4", len(tg.Buffers))
+	}
+	last := tg.Buffers[len(tg.Buffers)-1]
+	if last.From != "w3" || last.To != "w0" || last.InitialTokens != 2 {
+		t.Fatalf("closing buffer wrong: %+v", last)
+	}
+}
+
+func TestRandomJobsValidAndDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		c := RandomJobs(RandomOptions{Seed: seed})
+		if err := c.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+	a := RandomJobs(RandomOptions{Seed: 7, Jobs: 3})
+	b := RandomJobs(RandomOptions{Seed: 7, Jobs: 3})
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatal("RandomJobs is not deterministic for equal seeds")
+	}
+	c2 := RandomJobs(RandomOptions{Seed: 8, Jobs: 3})
+	jc, _ := json.Marshal(c2)
+	if string(ja) == string(jc) {
+		t.Fatal("different seeds produced identical configurations")
+	}
+}
+
+func TestRandomMultiRateChain(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		c := RandomMultiRateChain(seed, 4, 0.4)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(c.Graphs[0].Tasks) != 4 || len(c.Graphs[0].Buffers) != 3 {
+			t.Fatalf("seed %d: wrong shape", seed)
+		}
+	}
+	a, _ := json.Marshal(RandomMultiRateChain(3, 3, 0))
+	b, _ := json.Marshal(RandomMultiRateChain(3, 3, 0))
+	if string(a) != string(b) {
+		t.Fatal("RandomMultiRateChain not deterministic")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("n < 2 did not panic")
+		}
+	}()
+	RandomMultiRateChain(0, 1, 0)
+}
+
+func TestRandomJobsRespectsShape(t *testing.T) {
+	c := RandomJobs(RandomOptions{Seed: 3, Jobs: 4, Processors: 6, Memories: 3, MinTasks: 3, MaxTasks: 3})
+	if len(c.Graphs) != 4 || len(c.Processors) != 6 || len(c.Memories) != 3 {
+		t.Fatal("shape options ignored")
+	}
+	for _, g := range c.Graphs {
+		if len(g.Tasks) != 3 {
+			t.Fatalf("task count %d, want 3", len(g.Tasks))
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned when a Cholesky factorization encounters
+// a non-positive pivot even after the allowed regularization.
+var ErrNotPositiveDefinite = errors.New("linalg: matrix is not positive definite")
+
+// Cholesky holds a lower-triangular Cholesky factor L with A ≈ LLᵀ.
+type Cholesky struct {
+	n int
+	l *Matrix // lower triangular, diagonal > 0
+	// shift is the static regularization that was added to the diagonal
+	// (0 when the matrix factorized cleanly).
+	shift float64
+}
+
+// NewCholesky factorizes the symmetric positive-definite matrix A (only the
+// lower triangle is read). If the factorization hits a non-positive pivot and
+// reg > 0, it retries with increasing diagonal shifts reg, 10·reg, … up to
+// 1e8·reg before giving up.
+func NewCholesky(a *Matrix, reg float64) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		panic("linalg: Cholesky of non-square matrix")
+	}
+	n := a.Rows
+	shift := 0.0
+	for attempt := 0; ; attempt++ {
+		l, ok := tryCholesky(a, shift)
+		if ok {
+			return &Cholesky{n: n, l: l, shift: shift}, nil
+		}
+		if reg <= 0 || attempt > 9 {
+			return nil, ErrNotPositiveDefinite
+		}
+		if shift == 0 {
+			shift = reg
+		} else {
+			shift *= 10
+		}
+	}
+}
+
+func tryCholesky(a *Matrix, shift float64) (*Matrix, bool) {
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j) + shift
+		lrowj := l.Data[j*n : j*n+j]
+		for _, v := range lrowj {
+			d -= v * v
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, false
+		}
+		d = math.Sqrt(d)
+		l.Set(j, j, d)
+		inv := 1 / d
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			lrowi := l.Data[i*n : i*n+j]
+			for k, v := range lrowi {
+				s -= v * lrowj[k]
+			}
+			l.Set(i, j, s*inv)
+		}
+	}
+	return l, true
+}
+
+// Shift returns the diagonal regularization that was applied (0 if none).
+func (c *Cholesky) Shift() float64 { return c.shift }
+
+// Solve solves A x = b in place: on return, b holds the solution.
+func (c *Cholesky) Solve(b Vector) {
+	if len(b) != c.n {
+		panic("linalg: Cholesky.Solve dimension mismatch")
+	}
+	n, l := c.n, c.l
+	// Forward substitution L y = b.
+	for i := 0; i < n; i++ {
+		s := b[i]
+		row := l.Data[i*n : i*n+i]
+		for k, v := range row {
+			s -= v * b[k]
+		}
+		b[i] = s / l.Data[i*n+i]
+	}
+	// Back substitution Lᵀ x = y.
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.Data[k*n+i] * b[k]
+		}
+		b[i] = s / l.Data[i*n+i]
+	}
+}
+
+// SolveRefined solves A x = b with one step of iterative refinement against
+// the original matrix a (which may differ from the factorized matrix by the
+// regularization shift). The solution is written into x; b is not modified.
+func (c *Cholesky) SolveRefined(a *Matrix, b Vector, x Vector) {
+	if len(x) != c.n || len(b) != c.n {
+		panic("linalg: SolveRefined dimension mismatch")
+	}
+	x.CopyFrom(b)
+	c.Solve(x)
+	// Residual r = b - A x; correct x by A⁻¹ r.
+	r := NewVector(c.n)
+	a.MulVec(r, x)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	c.Solve(r)
+	x.AddScaled(1, r)
+}
+
+// LDLT holds an LDLᵀ factorization of a symmetric (possibly indefinite,
+// quasi-definite) matrix without pivoting: A ≈ L D Lᵀ with unit lower
+// triangular L and diagonal D. It is intended for KKT systems that are
+// symmetric quasi-definite after regularization.
+type LDLT struct {
+	n int
+	l *Matrix
+	d Vector
+}
+
+// NewLDLT factorizes A (reading the full matrix; A must be symmetric).
+// Diagonal entries whose magnitude falls below eps are replaced by ±eps,
+// preserving sign (or +eps when zero), which keeps the factorization usable
+// for quasi-definite KKT matrices.
+func NewLDLT(a *Matrix, eps float64) (*LDLT, error) {
+	if a.Rows != a.Cols {
+		panic("linalg: LDLT of non-square matrix")
+	}
+	n := a.Rows
+	l := Identity(n)
+	d := NewVector(n)
+	for j := 0; j < n; j++ {
+		dj := a.At(j, j)
+		for k := 0; k < j; k++ {
+			v := l.At(j, k)
+			dj -= v * v * d[k]
+		}
+		if math.IsNaN(dj) {
+			return nil, ErrNotPositiveDefinite
+		}
+		if math.Abs(dj) < eps {
+			if dj < 0 {
+				dj = -eps
+			} else {
+				dj = eps
+			}
+		}
+		d[j] = dj
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k) * d[k]
+			}
+			l.Set(i, j, s/dj)
+		}
+	}
+	return &LDLT{n: n, l: l, d: d}, nil
+}
+
+// Solve solves A x = b in place.
+func (f *LDLT) Solve(b Vector) {
+	if len(b) != f.n {
+		panic("linalg: LDLT.Solve dimension mismatch")
+	}
+	n, l := f.n, f.l
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.Data[i*n+k] * b[k]
+		}
+		b[i] = s
+	}
+	for i := 0; i < n; i++ {
+		b[i] /= f.d[i]
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.Data[k*n+i] * b[k]
+		}
+		b[i] = s
+	}
+}
+
+// SolveRefined solves A x = b with one iterative-refinement step against the
+// original matrix a. The result is stored in x; b is unchanged.
+func (f *LDLT) SolveRefined(a *Matrix, b Vector, x Vector) {
+	x.CopyFrom(b)
+	f.Solve(x)
+	r := NewVector(f.n)
+	a.MulVec(r, x)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	f.Solve(r)
+	x.AddScaled(1, r)
+}

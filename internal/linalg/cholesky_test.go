@@ -1,0 +1,204 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randSPD returns a random symmetric positive-definite n×n matrix.
+func randSPD(rng *rand.Rand, n int) *Matrix {
+	b := randMatrix(rng, n+2, n) // tall => full column rank almost surely
+	a := NewMatrix(n, n)
+	b.AtAInto(a)
+	for i := 0; i < n; i++ {
+		a.Add(i, i, 0.1) // ensure strict positive definiteness
+	}
+	return a
+}
+
+func TestCholeskyReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(12)
+		a := randSPD(rng, n)
+		ch, err := NewCholesky(a, 0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if ch.Shift() != 0 {
+			t.Fatalf("unexpected shift %v", ch.Shift())
+		}
+		// L·Lᵀ must reconstruct A.
+		llt := ch.l.Mul(ch.l.T())
+		for k := range a.Data {
+			if !almostEqual(llt.Data[k], a.Data[k], 1e-9) {
+				t.Fatalf("trial %d: LLᵀ != A at %d: %v vs %v", trial, k, llt.Data[k], a.Data[k])
+			}
+		}
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(15)
+		a := randSPD(rng, n)
+		xTrue := NewVector(n)
+		for i := range xTrue {
+			xTrue[i] = rng.NormFloat64()
+		}
+		b := NewVector(n)
+		a.MulVec(b, xTrue)
+		ch, err := NewCholesky(a, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := b.Clone()
+		ch.Solve(x)
+		for i := range x {
+			if !almostEqual(x[i], xTrue[i], 1e-7) {
+				t.Fatalf("solve mismatch at %d: %v vs %v", i, x[i], xTrue[i])
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewMatrixFromRows([][]float64{{1, 0}, {0, -1}})
+	if _, err := NewCholesky(a, 0); err == nil {
+		t.Fatal("expected failure on indefinite matrix with no regularization")
+	}
+}
+
+func TestCholeskyRegularizationRecovers(t *testing.T) {
+	// Singular PSD matrix: regularization should let factorization succeed.
+	a := NewMatrixFromRows([][]float64{{1, 1}, {1, 1}})
+	ch, err := NewCholesky(a, 1e-10)
+	if err != nil {
+		t.Fatalf("regularized factorization failed: %v", err)
+	}
+	if ch.Shift() <= 0 {
+		t.Fatalf("expected positive shift, got %v", ch.Shift())
+	}
+}
+
+func TestCholeskySolveRefined(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	// Moderately ill-conditioned matrix.
+	n := 8
+	a := randSPD(rng, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)*math.Pow(10, float64(i)/2))
+	}
+	// Re-symmetrize after diagonal scaling (still SPD since only diagonal grew).
+	xTrue := NewVector(n)
+	for i := range xTrue {
+		xTrue[i] = rng.NormFloat64()
+	}
+	b := NewVector(n)
+	a.MulVec(b, xTrue)
+	ch, err := NewCholesky(a, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := NewVector(n)
+	ch.SolveRefined(a, b, x)
+	r := NewVector(n)
+	a.MulVec(r, x)
+	Sub(r, b, r)
+	if rel := Norm2(r) / math.Max(1, Norm2(b)); rel > 1e-9 {
+		t.Fatalf("refined residual too large: %v", rel)
+	}
+}
+
+func TestLDLTSolveSymmetricIndefinite(t *testing.T) {
+	// KKT-style quasi-definite matrix: [[H, Aᵀ],[A, -εI]].
+	a := NewMatrixFromRows([][]float64{
+		{2, 0, 1},
+		{0, 3, 1},
+		{1, 1, -1e-8},
+	})
+	f, err := NewLDLT(a, 1e-14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xTrue := Vector{1, -2, 3}
+	b := NewVector(3)
+	a.MulVec(b, xTrue)
+	x := b.Clone()
+	f.Solve(x)
+	for i := range x {
+		if !almostEqual(x[i], xTrue[i], 1e-6) {
+			t.Fatalf("LDLT solve mismatch at %d: %v vs %v", i, x[i], xTrue[i])
+		}
+	}
+}
+
+func TestLDLTSolveRefined(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := 10
+	a := randSPD(rng, n)
+	xTrue := NewVector(n)
+	for i := range xTrue {
+		xTrue[i] = rng.NormFloat64()
+	}
+	b := NewVector(n)
+	a.MulVec(b, xTrue)
+	f, err := NewLDLT(a, 1e-14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := NewVector(n)
+	f.SolveRefined(a, b, x)
+	for i := range x {
+		if !almostEqual(x[i], xTrue[i], 1e-8) {
+			t.Fatalf("refined LDLT mismatch at %d: %v vs %v", i, x[i], xTrue[i])
+		}
+	}
+}
+
+func TestLDLTZeroPivotClamped(t *testing.T) {
+	// Diagonal contains an exact zero; eps-clamping must keep it solvable.
+	a := NewMatrixFromRows([][]float64{{0, 1}, {1, 0}})
+	f, err := NewLDLT(a, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := Vector{1, 1}
+	f.Solve(b) // must not NaN/panic
+	for _, v := range b {
+		if math.IsNaN(v) {
+			t.Fatal("NaN after zero-pivot clamp")
+		}
+	}
+}
+
+// Property: for random SPD matrices, the Cholesky solve residual is tiny.
+func TestCholeskySolveResidualProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(10)
+		a := randSPD(r, n)
+		b := NewVector(n)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		ch, err := NewCholesky(a, 0)
+		if err != nil {
+			return false
+		}
+		x := b.Clone()
+		ch.Solve(x)
+		res := NewVector(n)
+		a.MulVec(res, x)
+		Sub(res, b, res)
+		return Norm2(res)/math.Max(1, Norm2(b)) < 1e-8
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,212 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestTrivial(t *testing.T) {
+	// min -x s.t. x <= 5, x >= 0 → x = 5.
+	p := &Problem{C: []float64{-1}, A: [][]float64{{1}}, B: []float64{5}}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != StatusOptimal || !almostEqual(s.X[0], 5, 1e-9) {
+		t.Fatalf("got %v x=%v", s.Status, s.X)
+	}
+}
+
+func TestClassic2D(t *testing.T) {
+	// max x+y s.t. x+2y<=4, 3x+y<=6 → (1.6, 1.2), obj 2.8.
+	p := &Problem{
+		C: []float64{-1, -1},
+		A: [][]float64{{1, 2}, {3, 1}},
+		B: []float64{4, 6},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != StatusOptimal {
+		t.Fatalf("status %v", s.Status)
+	}
+	if !almostEqual(s.X[0], 1.6, 1e-9) || !almostEqual(s.X[1], 1.2, 1e-9) {
+		t.Fatalf("x = %v", s.X)
+	}
+	if !almostEqual(s.Obj, -2.8, 1e-9) {
+		t.Fatalf("obj = %v", s.Obj)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x <= 1 and -x <= -2 (x >= 2).
+	p := &Problem{C: []float64{1}, A: [][]float64{{1}, {-1}}, B: []float64{1, -2}}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != StatusInfeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// min -x s.t. -x <= 0 (x >= 0, no upper bound).
+	p := &Problem{C: []float64{-1}, A: [][]float64{{-1}}, B: []float64{0}}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != StatusUnbounded {
+		t.Fatalf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestFreeVariable(t *testing.T) {
+	// min x s.t. x >= -3 (as -x <= 3), x free → x = -3.
+	p := &Problem{
+		C:    []float64{1},
+		A:    [][]float64{{-1}},
+		B:    []float64{3},
+		Free: []bool{true},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != StatusOptimal || !almostEqual(s.X[0], -3, 1e-9) {
+		t.Fatalf("got %v x=%v", s.Status, s.X)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// min x+y s.t. -x-y <= -4 (x+y >= 4), x,y >= 0 → obj 4.
+	p := &Problem{
+		C: []float64{1, 1},
+		A: [][]float64{{-1, -1}},
+		B: []float64{-4},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != StatusOptimal || !almostEqual(s.Obj, 4, 1e-9) {
+		t.Fatalf("got %v obj=%v", s.Status, s.Obj)
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	// Degenerate vertex: several constraints meet at the optimum; Bland's
+	// rule must terminate.
+	p := &Problem{
+		C: []float64{-1, -1},
+		A: [][]float64{{1, 0}, {0, 1}, {1, 1}},
+		B: []float64{1, 1, 2},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != StatusOptimal || !almostEqual(s.Obj, -2, 1e-9) {
+		t.Fatalf("got %v obj=%v", s.Status, s.Obj)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if _, err := Solve(&Problem{}); err == nil {
+		t.Fatal("empty problem accepted")
+	}
+	if _, err := Solve(&Problem{C: []float64{1}, A: [][]float64{{1, 2}}, B: []float64{1}}); err == nil {
+		t.Fatal("ragged row accepted")
+	}
+	if _, err := Solve(&Problem{C: []float64{1}, A: [][]float64{{1}}, B: []float64{1, 2}}); err == nil {
+		t.Fatal("bounds mismatch accepted")
+	}
+	if _, err := Solve(&Problem{C: []float64{1}, A: nil, B: nil, Free: []bool{true, false}}); err == nil {
+		t.Fatal("Free length mismatch accepted")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if StatusOptimal.String() != "optimal" || StatusInfeasible.String() != "infeasible" ||
+		StatusUnbounded.String() != "unbounded" || Status(9).String() != "Status(9)" {
+		t.Fatal("Status.String broken")
+	}
+}
+
+// Randomized sanity: generate feasible bounded LPs with known interior point
+// and verify the simplex solution is feasible and no worse than that point.
+func TestRandomFeasibleBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(5)
+		m := n + 1 + rng.Intn(6)
+		x0 := make([]float64, n)
+		for j := range x0 {
+			x0[j] = rng.Float64() * 2
+		}
+		a := make([][]float64, m)
+		b := make([]float64, m)
+		for i := range a {
+			a[i] = make([]float64, n)
+			var dot float64
+			for j := range a[i] {
+				a[i][j] = rng.NormFloat64()
+				dot += a[i][j] * x0[j]
+			}
+			b[i] = dot + 0.1 + rng.Float64()
+		}
+		// Bounded: add sum(x) <= big.
+		row := make([]float64, n)
+		for j := range row {
+			row[j] = 1
+		}
+		a = append(a, row)
+		var s0 float64
+		for _, v := range x0 {
+			s0 += v
+		}
+		b = append(b, s0+10)
+		c := make([]float64, n)
+		for j := range c {
+			c[j] = rng.NormFloat64()
+		}
+		p := &Problem{C: c, A: a, B: b}
+		s, err := Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if s.Status != StatusOptimal {
+			t.Fatalf("trial %d: status %v", trial, s.Status)
+		}
+		// Feasibility.
+		for i := range a {
+			var dot float64
+			for j := range a[i] {
+				dot += a[i][j] * s.X[j]
+			}
+			if dot > b[i]+1e-6 {
+				t.Fatalf("trial %d: row %d violated: %v > %v", trial, i, dot, b[i])
+			}
+		}
+		for j, v := range s.X {
+			if v < -1e-9 {
+				t.Fatalf("trial %d: x[%d] = %v < 0", trial, j, v)
+			}
+		}
+		// Optimality vs. the known feasible x0.
+		var obj0 float64
+		for j := range c {
+			obj0 += c[j] * x0[j]
+		}
+		if s.Obj > obj0+1e-6 {
+			t.Fatalf("trial %d: obj %v worse than feasible point %v", trial, s.Obj, obj0)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package sdf
+
+import (
+	"testing"
+)
+
+func TestCSDFValidate(t *testing.T) {
+	if err := NewCSDFGraph().Validate(); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+	g := NewCSDFGraph()
+	a := g.AddActor("a") // no phases
+	if err := g.Validate(); err == nil {
+		t.Fatal("phaseless actor accepted")
+	}
+	_ = a
+	g2 := NewCSDFGraph()
+	x := g2.AddActor("x", -1)
+	_ = x
+	if err := g2.Validate(); err == nil {
+		t.Fatal("negative duration accepted")
+	}
+	g3 := NewCSDFGraph()
+	p := g3.AddActor("p", 1, 1)
+	c := g3.AddActor("c", 1)
+	g3.AddEdge("e", p, c, []int{1}, []int{1}, 0) // prod seq too short
+	if err := g3.Validate(); err == nil {
+		t.Fatal("sequence length mismatch accepted")
+	}
+	g4 := NewCSDFGraph()
+	p4 := g4.AddActor("p", 1)
+	c4 := g4.AddActor("c", 1)
+	g4.AddEdge("e", p4, c4, []int{0}, []int{1}, 0) // zero-sum production
+	if err := g4.Validate(); err == nil {
+		t.Fatal("zero-sum sequence accepted")
+	}
+}
+
+// TestCSDFEquivalentToSDF: constant-rate CSDF must match the plain SDF
+// analysis exactly.
+func TestCSDFEquivalentToSDF(t *testing.T) {
+	// SDF version: a --(2,3)--> b, ring back with tokens.
+	s := NewGraph()
+	sa := s.AddActor("a", 2)
+	sb := s.AddActor("b", 5)
+	s.AddEdge("ab", sa, sb, 2, 3, 0)
+	s.AddEdge("ba", sb, sa, 3, 2, 12)
+	wantPeriod, err := s.IterationPeriod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CSDF version with single-phase actors and the same rates.
+	c := NewCSDFGraph()
+	ca := c.AddActor("a", 2)
+	cb := c.AddActor("b", 5)
+	c.AddEdge("ab", ca, cb, []int{2}, []int{3}, 0)
+	c.AddEdge("ba", cb, ca, []int{3}, []int{2}, 12)
+	got, err := c.IterationPeriod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, wantPeriod, 1e-9) {
+		t.Fatalf("CSDF period %v != SDF period %v", got, wantPeriod)
+	}
+}
+
+// TestCSDFPhasedProducer: a two-phase producer that emits only in its second
+// phase delays the consumer accordingly.
+func TestCSDFPhasedProducer(t *testing.T) {
+	g := NewCSDFGraph()
+	// a: phases (compute: 3, emit: 1); emits 1 token in phase 2 only.
+	a := g.AddActor("a", 3, 1)
+	// b: single phase consuming the token.
+	b := g.AddActor("b", 2)
+	g.AddEdge("ab", a, b, []int{0, 1}, []int{1}, 0)
+	ex, err := g.ToSRDF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Copies[a]) != 2 || len(ex.Copies[b]) != 1 {
+		t.Fatalf("copies: a=%d b=%d", len(ex.Copies[a]), len(ex.Copies[b]))
+	}
+	// Self-timed: b's first firing waits for BOTH phases of a (token emitted
+	// by phase 2, which follows phase 1): start at 3 + 1 = 4.
+	starts, err := ex.Graph.SelfTimed(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := starts[ex.Copies[b][0]][0]; !almostEqual(got, 4, 1e-9) {
+		t.Fatalf("b first start = %v, want 4", got)
+	}
+	// Iteration period: a's cycle = 3+1 = 4; b's = 2 → 4.
+	period, err := g.IterationPeriod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(period, 4, 1e-9) {
+		t.Fatalf("period = %v, want 4", period)
+	}
+}
+
+// TestCSDFEarlyEmission: emitting in phase 1 instead of phase 2 lets the
+// consumer start earlier — the phase structure matters.
+func TestCSDFEarlyEmission(t *testing.T) {
+	g := NewCSDFGraph()
+	a := g.AddActor("a", 3, 1)
+	b := g.AddActor("b", 2)
+	g.AddEdge("ab", a, b, []int{1, 0}, []int{1}, 0) // emit in phase 1
+	ex, err := g.ToSRDF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	starts, err := ex.Graph.SelfTimed(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b starts after phase 1 only: t = 3.
+	if got := starts[ex.Copies[b][0]][0]; !almostEqual(got, 3, 1e-9) {
+		t.Fatalf("b first start = %v, want 3", got)
+	}
+}
+
+// TestCSDFMultiPhaseRates: mixed per-phase rates with a repetition vector.
+func TestCSDFMultiPhaseRates(t *testing.T) {
+	g := NewCSDFGraph()
+	// a emits (1,2) per phase pair → 3 per cycle; b consumes 1 per firing
+	// (single phase) → q(b) = 3·q(a).
+	a := g.AddActor("a", 1, 1)
+	b := g.AddActor("b", 1)
+	g.AddEdge("ab", a, b, []int{1, 2}, []int{1}, 0)
+	q, err := g.RepetitionVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q[a] != 1 || q[b] != 3 {
+		t.Fatalf("q = %v, want [1 3]", q)
+	}
+	ex, err := g.ToSRDF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a: 1 cycle × 2 phases = 2 copies; b: 3 copies.
+	if len(ex.Copies[a]) != 2 || len(ex.Copies[b]) != 3 {
+		t.Fatalf("copies: a=%d b=%d", len(ex.Copies[a]), len(ex.Copies[b]))
+	}
+	starts, err := ex.Graph.SelfTimed(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b#0 consumes token 0, produced by a's phase 1 → start 1.
+	// b#1 consumes token 1, produced by a's phase 2 → start 2.
+	// b#2 consumes token 2, also phase 2 → but b is serial: start ≥ 3? No:
+	// b#2 waits for b#1 (serial) and token 2 (at t=2): b#1 runs [2,3) →
+	// b#2 at 3.
+	if got := starts[ex.Copies[b][0]][0]; !almostEqual(got, 1, 1e-9) {
+		t.Fatalf("b#0 start = %v, want 1", got)
+	}
+	if got := starts[ex.Copies[b][1]][0]; !almostEqual(got, 2, 1e-9) {
+		t.Fatalf("b#1 start = %v, want 2", got)
+	}
+	if got := starts[ex.Copies[b][2]][0]; !almostEqual(got, 3, 1e-9) {
+		t.Fatalf("b#2 start = %v, want 3", got)
+	}
+}
+
+// TestCSDFDeadlock: a token-free cycle deadlocks; tokens free it.
+func TestCSDFDeadlock(t *testing.T) {
+	g := NewCSDFGraph()
+	a := g.AddActor("a", 1)
+	b := g.AddActor("b", 1)
+	g.AddEdge("ab", a, b, []int{1}, []int{1}, 0)
+	g.AddEdge("ba", b, a, []int{1}, []int{1}, 0)
+	free, err := g.DeadlockFree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free {
+		t.Fatal("deadlock not detected")
+	}
+	g2 := NewCSDFGraph()
+	a2 := g2.AddActor("a", 1)
+	b2 := g2.AddActor("b", 1)
+	g2.AddEdge("ab", a2, b2, []int{1}, []int{1}, 1)
+	g2.AddEdge("ba", b2, a2, []int{1}, []int{1}, 0)
+	free2, err := g2.DeadlockFree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !free2 {
+		t.Fatal("live graph reported deadlocked")
+	}
+}
+
+// TestCSDFInconsistent: unbalanced totals are rejected.
+func TestCSDFInconsistent(t *testing.T) {
+	g := NewCSDFGraph()
+	a := g.AddActor("a", 1)
+	b := g.AddActor("b", 1)
+	g.AddEdge("e1", a, b, []int{1}, []int{1}, 0)
+	g.AddEdge("e2", a, b, []int{2}, []int{1}, 0)
+	if _, err := g.RepetitionVector(); err == nil {
+		t.Fatal("inconsistent CSDF accepted")
+	}
+}
+
+func TestCSDFPhasesAccessor(t *testing.T) {
+	g := NewCSDFGraph()
+	a := g.AddActor("a", 1, 2, 3)
+	if g.Phases(a) != 3 {
+		t.Fatalf("Phases = %d", g.Phases(a))
+	}
+}

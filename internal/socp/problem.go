@@ -1,0 +1,159 @@
+// Package socp implements a from-scratch primal-dual interior-point solver
+// for second-order cone programs in the standard conic form
+//
+//	minimize    cᵀx
+//	subject to  G x + s = h,   s ∈ K
+//	            A x = b,
+//
+// where K = R₊ˡ × Q^{q₁} × … × Q^{qN} is a product of a nonnegative orthant
+// and second-order cones. The algorithm is an infeasible-start Mehrotra
+// predictor-corrector method with Nesterov-Todd scaling — the same
+// polynomial-complexity interior-point family the paper relies on (it used
+// the commercial CPLEX solver; this package is the stdlib-only replacement).
+//
+// The solver detects primal and dual infeasibility through Farkas
+// certificates and reports the findings in Solution.Status.
+package socp
+
+import (
+	"fmt"
+
+	"repro/internal/cone"
+	"repro/internal/linalg"
+)
+
+// Problem is a conic program in inequality/equality standard form.
+// A and b may be nil (no equality constraints). G must have Dims.Dim() rows.
+type Problem struct {
+	C    linalg.Vector
+	G    *linalg.Matrix
+	H    linalg.Vector
+	A    *linalg.Matrix // optional
+	B    linalg.Vector  // optional, len = A.Rows
+	Dims cone.Dims
+}
+
+// Validate checks the problem shapes.
+func (p *Problem) Validate() error {
+	if err := p.Dims.Validate(); err != nil {
+		return err
+	}
+	n := len(p.C)
+	m := p.Dims.Dim()
+	if p.G == nil {
+		return fmt.Errorf("socp: G is nil")
+	}
+	if p.G.Rows != m || p.G.Cols != n {
+		return fmt.Errorf("socp: G is %dx%d, want %dx%d", p.G.Rows, p.G.Cols, m, n)
+	}
+	if len(p.H) != m {
+		return fmt.Errorf("socp: |h| = %d, want %d", len(p.H), m)
+	}
+	if p.A != nil {
+		if p.A.Cols != n {
+			return fmt.Errorf("socp: A has %d columns, want %d", p.A.Cols, n)
+		}
+		if len(p.B) != p.A.Rows {
+			return fmt.Errorf("socp: |b| = %d, want %d", len(p.B), p.A.Rows)
+		}
+	} else if len(p.B) != 0 {
+		return fmt.Errorf("socp: b given without A")
+	}
+	if m == 0 && p.A == nil {
+		return fmt.Errorf("socp: problem has no constraints")
+	}
+	return nil
+}
+
+// NumVars returns the number of decision variables.
+func (p *Problem) NumVars() int { return len(p.C) }
+
+// Status describes the outcome of a solve.
+type Status int
+
+const (
+	// StatusOptimal: converged to the required tolerances.
+	StatusOptimal Status = iota
+	// StatusPrimalInfeasible: a Farkas certificate of primal infeasibility
+	// was found (no x satisfies the constraints).
+	StatusPrimalInfeasible
+	// StatusDualInfeasible: a certificate of dual infeasibility was found
+	// (the primal is unbounded below or ill-posed).
+	StatusDualInfeasible
+	// StatusMaxIterations: the iteration limit was reached; the best iterate
+	// is returned but may be inaccurate.
+	StatusMaxIterations
+	// StatusNumericalError: the linear algebra broke down before reaching
+	// the tolerances.
+	StatusNumericalError
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusPrimalInfeasible:
+		return "primal infeasible"
+	case StatusDualInfeasible:
+		return "dual infeasible"
+	case StatusMaxIterations:
+		return "max iterations"
+	case StatusNumericalError:
+		return "numerical error"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Solution holds the result of a solve.
+type Solution struct {
+	Status     Status
+	X          linalg.Vector // primal variables
+	S          linalg.Vector // primal slacks, ∈ K
+	Z          linalg.Vector // dual variables for Gx + s = h, ∈ K
+	Y          linalg.Vector // dual variables for Ax = b
+	PrimalObj  float64       // cᵀx
+	DualObj    float64       // −hᵀz − bᵀy
+	Gap        float64       // sᵀz
+	RelGap     float64
+	PrimalRes  float64 // relative primal residual
+	DualRes    float64 // relative dual residual
+	Iterations int
+}
+
+// Options configures the solver. The zero value selects the defaults.
+type Options struct {
+	MaxIter  int     // default 100
+	FeasTol  float64 // default 1e-7
+	AbsTol   float64 // default 1e-9
+	RelTol   float64 // default 1e-9
+	StepFrac float64 // fraction of the step to the boundary, default 0.99
+	// KKTReg is the static regularization added to the normal-equations
+	// diagonal; default 1e-13 (scaled by the matrix norm).
+	KKTReg float64
+	// Trace enables per-iteration progress output on stdout (debugging).
+	Trace bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIter == 0 {
+		o.MaxIter = 100
+	}
+	if o.FeasTol == 0 {
+		o.FeasTol = 1e-7
+	}
+	if o.AbsTol == 0 {
+		o.AbsTol = 1e-9
+	}
+	if o.RelTol == 0 {
+		o.RelTol = 1e-9
+	}
+	if o.StepFrac == 0 {
+		o.StepFrac = 0.99
+	}
+	if o.KKTReg == 0 {
+		o.KKTReg = 1e-13
+	}
+	return o
+}

@@ -1,0 +1,115 @@
+package socp
+
+import (
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// equilibrate rescales the problem so the interior-point iterations are
+// well conditioned regardless of the magnitudes of objective weights,
+// constraint coefficients, or resource capacities:
+//
+//   - every orthant row of (G | h) is divided by its coefficient inf-norm
+//     (one uniform factor per second-order-cone block, which preserves the
+//     cone), and likewise for rows of (A | b);
+//   - the cost vector is divided by max(1, ‖c‖∞).
+//
+// It returns the scaled problem plus an unscale function that restores the
+// solution of the original problem (x is unchanged; slacks, duals, and
+// objective values are rescaled).
+func equilibrate(p *Problem) (*Problem, func(*Solution)) {
+	n := len(p.C)
+	m := p.Dims.Dim()
+
+	costScale := math.Max(1, linalg.NormInf(p.C))
+	c := p.C.Clone()
+	c.Scale(1 / costScale)
+
+	g := p.G.Clone()
+	h := p.H.Clone()
+	rowScale := make(linalg.Vector, m)
+	rowNorm := func(i int) float64 {
+		return linalg.NormInf(g.Data[i*n : (i+1)*n])
+	}
+	// Orthant rows scale independently. Including |h| in the scale keeps
+	// loose capacity constraints (tiny coefficients, huge bound) from
+	// dominating the least-squares starting point.
+	for i := 0; i < p.Dims.NonNeg; i++ {
+		r := math.Max(rowNorm(i), math.Abs(h[i]))
+		if r == 0 {
+			r = 1
+		}
+		rowScale[i] = r
+	}
+	// SOC blocks share one factor to stay a cone constraint.
+	off := p.Dims.NonNeg
+	for _, q := range p.Dims.SOC {
+		r := 0.0
+		for i := off; i < off+q; i++ {
+			if v := math.Max(rowNorm(i), math.Abs(h[i])); v > r {
+				r = v
+			}
+		}
+		if r == 0 {
+			r = 1
+		}
+		for i := off; i < off+q; i++ {
+			rowScale[i] = r
+		}
+		off += q
+	}
+	for i := 0; i < m; i++ {
+		inv := 1 / rowScale[i]
+		row := g.Data[i*n : (i+1)*n]
+		for j := range row {
+			row[j] *= inv
+		}
+		h[i] *= inv
+	}
+
+	sp := &Problem{C: c, G: g, H: h, Dims: p.Dims}
+	var eqScale linalg.Vector
+	if p.A != nil {
+		a := p.A.Clone()
+		b := p.B.Clone()
+		eqScale = make(linalg.Vector, a.Rows)
+		for i := 0; i < a.Rows; i++ {
+			r := linalg.NormInf(a.Data[i*n : (i+1)*n])
+			if r == 0 {
+				r = math.Max(1, math.Abs(b[i]))
+			}
+			eqScale[i] = r
+			inv := 1 / r
+			row := a.Data[i*n : (i+1)*n]
+			for j := range row {
+				row[j] *= inv
+			}
+			b[i] *= inv
+		}
+		sp.A = a
+		sp.B = b
+	}
+
+	unscale := func(sol *Solution) {
+		if sol == nil {
+			return
+		}
+		// x unchanged. s = D·s̃, z = σc·D⁻¹·z̃, y = σc·DA⁻¹·ỹ.
+		for i := 0; i < m; i++ {
+			if len(sol.S) == m {
+				sol.S[i] *= rowScale[i]
+			}
+			if len(sol.Z) == m {
+				sol.Z[i] *= costScale / rowScale[i]
+			}
+		}
+		for i := range sol.Y {
+			sol.Y[i] *= costScale / eqScale[i]
+		}
+		sol.PrimalObj *= costScale
+		sol.DualObj *= costScale
+		sol.Gap *= costScale
+	}
+	return sp, unscale
+}

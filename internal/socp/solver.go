@@ -1,0 +1,476 @@
+package socp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/cone"
+	"repro/internal/linalg"
+)
+
+// Solve minimizes cᵀx subject to Gx + s = h, s ∈ K, Ax = b using an
+// infeasible-start Mehrotra predictor-corrector interior-point method with
+// Nesterov-Todd scaling.
+func Solve(p *Problem, opt Options) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Dims.Dim() == 0 {
+		return nil, errors.New("socp: cone dimension is zero")
+	}
+	sp, unscale := equilibrate(p)
+	s := &state{p: sp, opt: opt.withDefaults()}
+	sol, err := s.run()
+	unscale(sol)
+	return sol, err
+}
+
+// state carries the iterates and workspace of one solve.
+type state struct {
+	p   *Problem
+	opt Options
+
+	n, m, pe int // variables, cone dim, equality rows
+
+	x, y  linalg.Vector
+	s, z  linalg.Vector
+	e     linalg.Vector // cone identity
+	bnorm float64
+	hnorm float64
+	cnorm float64
+}
+
+// kktFactor is a factorized KKT system for a fixed NT scaling. It solves
+//
+//	[ 0   Aᵀ   Gᵀ ] [x]   [bx]
+//	[ A   0    0  ] [y] = [by]
+//	[ G   0  −W²  ] [z]   [bz]
+//
+// via the normal equations H = Gᵀ W⁻² G (pe == 0) or an LDLᵀ factorization of
+// the reduced KKT matrix [[H, Aᵀ], [A, 0]].
+type kktFactor struct {
+	st *state
+	w  *cone.Scaling // nil means W = I
+
+	gs   *linalg.Matrix // W⁻¹ G
+	hmat *linalg.Matrix // Gᵀ W⁻² G (unregularized, for refinement)
+	chol *linalg.Cholesky
+	kkt  *linalg.Matrix // assembled [[H,Aᵀ],[A,0]] when pe > 0
+	ldlt *linalg.LDLT
+}
+
+func (st *state) factor(w *cone.Scaling) (*kktFactor, error) {
+	f := &kktFactor{st: st, w: w}
+	f.gs = st.p.G.Clone()
+	if w != nil {
+		w.ScaleRows(f.gs)
+	}
+	f.hmat = linalg.NewMatrix(st.n, st.n)
+	f.gs.AtAInto(f.hmat)
+	reg := st.opt.KKTReg * (1 + f.hmat.NormInf())
+	if st.pe == 0 {
+		hreg := f.hmat.Clone()
+		for i := 0; i < st.n; i++ {
+			hreg.Add(i, i, reg)
+		}
+		chol, err := linalg.NewCholesky(hreg, reg)
+		if err != nil {
+			return nil, err
+		}
+		f.chol = chol
+		return f, nil
+	}
+	// Assemble the quasi-definite reduced KKT matrix.
+	nt := st.n + st.pe
+	k := linalg.NewMatrix(nt, nt)
+	for i := 0; i < st.n; i++ {
+		for j := 0; j < st.n; j++ {
+			k.Set(i, j, f.hmat.At(i, j))
+		}
+		k.Add(i, i, reg)
+	}
+	for i := 0; i < st.pe; i++ {
+		for j := 0; j < st.n; j++ {
+			v := st.p.A.At(i, j)
+			k.Set(st.n+i, j, v)
+			k.Set(j, st.n+i, v)
+		}
+		k.Set(st.n+i, st.n+i, -reg)
+	}
+	ld, err := linalg.NewLDLT(k, reg)
+	if err != nil {
+		return nil, err
+	}
+	f.kkt = k
+	f.ldlt = ld
+	return f, nil
+}
+
+// solve computes (x, y, z) for right-hand sides (bx, by, bz) with full-space
+// iterative refinement, which keeps the dual residual accurate even when the
+// NT scaling is nearly singular at the end of the solve. Refinement iterates
+// until the KKT residual stops improving (at most 4 passes) and returns the
+// best iterate seen.
+func (f *kktFactor) solve(bx, by, bz linalg.Vector) (dx, dy, dz linalg.Vector) {
+	dx, dy, dz = f.solveOnce(bx, by, bz)
+	bestX, bestY, bestZ := dx, dy, dz
+	bestRes := math.Inf(1)
+	for pass := 0; pass < 4; pass++ {
+		r1, r2, r3 := f.residual(bx, by, bz, dx, dy, dz)
+		res := math.Max(linalg.NormInf(r1), math.Max(linalg.NormInf(r2), linalg.NormInf(r3)))
+		if res < bestRes {
+			bestRes = res
+			bestX, bestY, bestZ = dx.Clone(), dy.Clone(), dz.Clone()
+		} else {
+			break // refinement stopped converging
+		}
+		if res == 0 {
+			break
+		}
+		cx, cy, cz := f.solveOnce(r1, r2, r3)
+		dx = dx.Clone()
+		dy = dy.Clone()
+		dz = dz.Clone()
+		dx.AddScaled(1, cx)
+		dy.AddScaled(1, cy)
+		dz.AddScaled(1, cz)
+	}
+	return bestX, bestY, bestZ
+}
+
+// residual computes the residual of the 3x3 block KKT system at (x, y, z).
+func (f *kktFactor) residual(bx, by, bz, x, y, z linalg.Vector) (r1, r2, r3 linalg.Vector) {
+	st := f.st
+	r1 = bx.Clone() // bx − Gᵀz − Aᵀy
+	st.p.G.MulVecTAdd(r1, -1, z)
+	if st.pe > 0 {
+		st.p.A.MulVecTAdd(r1, -1, y)
+	}
+	r2 = by.Clone() // by − Ax
+	if st.pe > 0 {
+		st.p.A.MulVecAdd(r2, -1, x)
+	}
+	r3 = bz.Clone() // bz − (Gx − W²z)
+	st.p.G.MulVecAdd(r3, -1, x)
+	w2z := z.Clone()
+	if f.w != nil {
+		f.w.Apply(w2z, w2z)
+		f.w.Apply(w2z, w2z)
+	}
+	linalg.Add(r3, r3, w2z)
+	return r1, r2, r3
+}
+
+// solveOnce performs the factored solve without refinement.
+func (f *kktFactor) solveOnce(bx, by, bz linalg.Vector) (dx, dy, dz linalg.Vector) {
+	st := f.st
+	// t = W⁻² bz.
+	t := bz.Clone()
+	if f.w != nil {
+		f.w.ApplyInv(t, t)
+		f.w.ApplyInv(t, t)
+	}
+	// rhs = bx + Gᵀ W⁻² bz.
+	rhs := bx.Clone()
+	st.p.G.MulVecTAdd(rhs, 1, t)
+	dx = linalg.NewVector(st.n)
+	if st.pe == 0 {
+		f.chol.SolveRefined(f.hmat, rhs, dx)
+	} else {
+		full := linalg.NewVector(st.n + st.pe)
+		copy(full[:st.n], rhs)
+		copy(full[st.n:], by)
+		sol := linalg.NewVector(st.n + st.pe)
+		f.ldlt.SolveRefined(f.kkt, full, sol)
+		copy(dx, sol[:st.n])
+		dy = linalg.NewVector(st.pe)
+		copy(dy, sol[st.n:])
+	}
+	// dz = W⁻² (G dx − bz).
+	u := linalg.NewVector(st.m)
+	st.p.G.MulVec(u, dx)
+	u.AddScaled(-1, bz)
+	if f.w != nil {
+		f.w.ApplyInv(u, u)
+		f.w.ApplyInv(u, u)
+	}
+	dz = u
+	if dy == nil {
+		dy = linalg.NewVector(0)
+	}
+	return dx, dy, dz
+}
+
+func (st *state) run() (*Solution, error) {
+	p := st.p
+	st.n = p.NumVars()
+	st.m = p.Dims.Dim()
+	if p.A != nil {
+		st.pe = p.A.Rows
+	}
+	st.e = linalg.NewVector(st.m)
+	p.Dims.Identity(st.e)
+	st.bnorm = linalg.Norm2(p.B)
+	st.hnorm = linalg.Norm2(p.H)
+	st.cnorm = linalg.Norm2(p.C)
+
+	if err := st.initPoint(); err != nil {
+		return st.failed(err)
+	}
+
+	nu := float64(p.Dims.Degree())
+	sol := &Solution{Status: StatusMaxIterations}
+	best := &Solution{Status: StatusMaxIterations}
+	bestScore := math.Inf(1)
+
+	for iter := 0; iter <= st.opt.MaxIter; iter++ {
+		// Residuals.
+		rx := p.C.Clone() // rx = c + Gᵀz + Aᵀy
+		p.G.MulVecTAdd(rx, 1, st.z)
+		if st.pe > 0 {
+			p.A.MulVecTAdd(rx, 1, st.y)
+		}
+		ry := linalg.NewVector(st.pe) // ry = Ax − b
+		if st.pe > 0 {
+			p.A.MulVec(ry, st.x)
+			ry.AddScaled(-1, p.B)
+		}
+		rz := linalg.NewVector(st.m) // rz = Gx + s − h
+		p.G.MulVec(rz, st.x)
+		linalg.Add(rz, rz, st.s)
+		rz.AddScaled(-1, p.H)
+
+		pcost := linalg.Dot(p.C, st.x)
+		dcost := -linalg.Dot(p.H, st.z) - linalg.Dot(p.B, st.y)
+		gap := linalg.Dot(st.s, st.z)
+		relgap := gap / math.Max(1, math.Abs(pcost))
+		pres := math.Max(linalg.Norm2(ry)/math.Max(1, st.bnorm), linalg.Norm2(rz)/math.Max(1, st.hnorm))
+		dres := linalg.Norm2(rx) / math.Max(1, st.cnorm)
+
+		sol.X, sol.S, sol.Z, sol.Y = st.x, st.s, st.z, st.y
+		sol.PrimalObj, sol.DualObj = pcost, dcost
+		sol.Gap, sol.RelGap, sol.PrimalRes, sol.DualRes = gap, relgap, pres, dres
+		sol.Iterations = iter
+
+		if st.opt.Trace {
+			fmt.Printf("iter %2d: pcost=%+.6e dcost=%+.6e gap=%.3e pres=%.3e dres=%.3e\n",
+				iter, pcost, dcost, gap, pres, dres)
+		}
+
+		if pres <= st.opt.FeasTol && dres <= st.opt.FeasTol &&
+			(gap <= st.opt.AbsTol || relgap <= st.opt.RelTol) {
+			sol.Status = StatusOptimal
+			return sol, nil
+		}
+
+		// Farkas certificates of infeasibility.
+		hzby := linalg.Dot(p.H, st.z) + linalg.Dot(p.B, st.y)
+		if hzby < 0 {
+			// ‖Gᵀz + Aᵀy‖ relative to the certificate value.
+			gz := rx.Clone()
+			gz.AddScaled(-1, p.C)
+			if linalg.Norm2(gz)/(-hzby) <= st.opt.FeasTol {
+				scaleCert(st.z, -1/hzby)
+				scaleCert(st.y, -1/hzby)
+				sol.Status = StatusPrimalInfeasible
+				return sol, nil
+			}
+		}
+		if pcost < 0 {
+			gx := linalg.NewVector(st.m)
+			p.G.MulVec(gx, st.x)
+			linalg.Add(gx, gx, st.s)
+			ax := linalg.NewVector(st.pe)
+			if st.pe > 0 {
+				p.A.MulVec(ax, st.x)
+			}
+			if math.Max(linalg.Norm2(gx), linalg.Norm2(ax))/(-pcost) <= st.opt.FeasTol {
+				scaleCert(st.x, -1/pcost)
+				scaleCert(st.s, -1/pcost)
+				sol.Status = StatusDualInfeasible
+				return sol, nil
+			}
+		}
+		// Track the best iterate seen; near machine precision the iterates
+		// can deteriorate after the gap bottoms out, and the best point is
+		// then the one to report.
+		score := math.Max(math.Max(pres, dres), relgap)
+		if score < bestScore {
+			bestScore = score
+			*best = *sol
+			best.X = sol.X.Clone()
+			best.S = sol.S.Clone()
+			best.Z = sol.Z.Clone()
+			best.Y = sol.Y.Clone()
+		} else if bestScore < 1e-4 && score > 1e4*bestScore {
+			// Endgame breakdown after convergence effectively finished:
+			// return the best iterate instead of the deteriorated one.
+			*sol = *best
+			sol.Status = acceptReduced(best)
+			return sol, nil
+		}
+
+		if iter == st.opt.MaxIter {
+			*sol = *best
+			sol.Status = acceptReduced(best)
+			return sol, nil
+		}
+
+		// NT scaling and KKT factorization.
+		w, err := cone.NewScaling(p.Dims, st.s, st.z)
+		if err != nil {
+			sol.Status = StatusNumericalError
+			return sol, nil
+		}
+		lambda := w.Lambda()
+		f, err := st.factor(w)
+		if err != nil {
+			sol.Status = StatusNumericalError
+			return sol, nil
+		}
+
+		mu := gap / nu
+
+		// Affine (predictor) direction: dc = −λ∘λ, so u = λ\dc = −λ.
+		u := lambda.Clone()
+		u.Scale(-1)
+		_, _, dza, dsa := st.newton(f, w, rx, ry, rz, u)
+
+		alphaAff := math.Min(1, math.Min(
+			p.Dims.StepToBoundary(st.s, dsa),
+			p.Dims.StepToBoundary(st.z, dza)))
+		gapAff := affGap(st.s, dsa, st.z, dza, alphaAff)
+		sigma := math.Pow(math.Max(0, gapAff/gap), 3)
+		if sigma > 1 {
+			sigma = 1
+		}
+
+		// Combined (corrector) direction:
+		// dc = σµe − λ∘λ − (W⁻¹ds_a)∘(W dz_a).
+		wds := linalg.NewVector(st.m)
+		w.ApplyInv(wds, dsa)
+		wdz := linalg.NewVector(st.m)
+		w.Apply(wdz, dza)
+		corr := linalg.NewVector(st.m)
+		p.Dims.Product(corr, wds, wdz)
+		dc := linalg.NewVector(st.m)
+		p.Dims.Product(dc, lambda, lambda)
+		dc.Scale(-1)
+		dc.AddScaled(-1, corr)
+		dc.AddScaled(sigma*mu, st.e)
+		p.Dims.Div(u, lambda, dc)
+		dx, dy, dz, ds := st.newton(f, w, rx, ry, rz, u)
+
+		alpha := math.Min(1, st.opt.StepFrac*math.Min(
+			p.Dims.StepToBoundary(st.s, ds),
+			p.Dims.StepToBoundary(st.z, dz)))
+
+		// Take the step, backing off if rounding pushed an iterate onto the
+		// boundary.
+		for tries := 0; ; tries++ {
+			ns := st.s.Clone()
+			ns.AddScaled(alpha, ds)
+			nz := st.z.Clone()
+			nz.AddScaled(alpha, dz)
+			if p.Dims.Interior(ns) && p.Dims.Interior(nz) {
+				st.s, st.z = ns, nz
+				st.x.AddScaled(alpha, dx)
+				st.y.AddScaled(alpha, dy)
+				break
+			}
+			if tries >= 30 {
+				sol.Status = StatusNumericalError
+				return sol, nil
+			}
+			alpha *= 0.5
+		}
+	}
+	return sol, nil
+}
+
+// newton solves one Newton system for the given residuals and scaled
+// complementarity term u = λ\dc, returning (dx, dy, dz, ds).
+func (st *state) newton(f *kktFactor, w *cone.Scaling, rx, ry, rz, u linalg.Vector) (dx, dy, dz, ds linalg.Vector) {
+	bx := rx.Clone()
+	bx.Scale(-1)
+	by := ry.Clone()
+	by.Scale(-1)
+	// bz = −rz − W u.
+	wu := linalg.NewVector(st.m)
+	w.Apply(wu, u)
+	bz := rz.Clone()
+	bz.Scale(-1)
+	bz.AddScaled(-1, wu)
+	dx, dy, dz = f.solve(bx, by, bz)
+	// ds = W (u − W dz).
+	t := linalg.NewVector(st.m)
+	w.Apply(t, dz)
+	linalg.Sub(t, u, t)
+	ds = linalg.NewVector(st.m)
+	w.Apply(ds, t)
+	return dx, dy, dz, ds
+}
+
+// acceptReduced decides the status of a solve that could not reach the full
+// tolerances: if the best iterate meets the reduced tolerances (1e-4 on
+// feasibility, 5e-5 on the relative gap — the same convention ECOS uses for
+// its "close to optimal" acceptance), it is still reported optimal; the
+// achieved residuals remain available in the Solution for callers that need
+// stricter guarantees.
+func acceptReduced(best *Solution) Status {
+	const feasInacc, gapInacc = 1e-4, 5e-5
+	if best.X != nil && best.PrimalRes <= feasInacc && best.DualRes <= feasInacc &&
+		(best.Gap <= gapInacc || best.RelGap <= gapInacc) {
+		return StatusOptimal
+	}
+	return StatusMaxIterations
+}
+
+// affGap returns (s+αds)ᵀ(z+αdz).
+func affGap(s, ds, z, dz linalg.Vector, alpha float64) float64 {
+	var g float64
+	for i := range s {
+		g += (s[i] + alpha*ds[i]) * (z[i] + alpha*dz[i])
+	}
+	return g
+}
+
+func scaleCert(v linalg.Vector, a float64) {
+	for i := range v {
+		v[i] *= a
+	}
+}
+
+// initPoint computes the CVXOPT-style least-squares starting point, shifted
+// into the interior of the cone.
+func (st *state) initPoint() error {
+	p := st.p
+	f, err := st.factor(nil) // W = I
+	if err != nil {
+		return fmt.Errorf("socp: initial factorization failed: %w", err)
+	}
+	// Primal: minimize ‖Gx − h‖ s.t. Ax = b; s = h − Gx, shifted inward.
+	zero := linalg.NewVector(st.n)
+	x, _, ztilde := f.solve(zero, p.B, p.H)
+	st.x = x
+	st.s = ztilde.Clone()
+	st.s.Scale(-1) // s = h − Gx = −z̃
+	if th := p.Dims.InteriorMargin(st.s); th <= 0 {
+		st.s.AddScaled(1-th, st.e)
+	}
+	// Dual: minimize ‖z‖ s.t. Gᵀz + Aᵀy = −c; shifted inward.
+	negc := p.C.Clone()
+	negc.Scale(-1)
+	_, y, z := f.solve(negc, linalg.NewVector(st.pe), linalg.NewVector(st.m))
+	st.y = y
+	st.z = z
+	if th := p.Dims.InteriorMargin(st.z); th <= 0 {
+		st.z.AddScaled(1-th, st.e)
+	}
+	return nil
+}
+
+func (st *state) failed(err error) (*Solution, error) {
+	return &Solution{Status: StatusNumericalError}, err
+}

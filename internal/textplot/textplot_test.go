@@ -1,0 +1,96 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("short", 1.5)
+	tb.AddRow("a-much-longer-name", 42)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d:\n%s", len(lines), out)
+	}
+	// All rows share the same column start for the second column.
+	idx := strings.Index(lines[0], "value")
+	if idx < 0 {
+		t.Fatal("header missing")
+	}
+	if !strings.HasPrefix(lines[3][idx:], "42") {
+		t.Fatalf("misaligned table:\n%s", out)
+	}
+}
+
+func TestTableNaN(t *testing.T) {
+	tb := NewTable("x")
+	tb.AddRow(math.NaN())
+	if !strings.Contains(tb.String(), "-") {
+		t.Fatal("NaN not rendered as dash")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow(1, 2.5)
+	csv := tb.CSV()
+	if csv != "a,b\n1,2.5\n" {
+		t.Fatalf("CSV = %q", csv)
+	}
+}
+
+func TestPlotRendering(t *testing.T) {
+	p := NewPlot("title", "cap", "budget", []float64{1, 2, 3})
+	p.AddSeries("beta", []float64{30, 20, 10})
+	out := p.String()
+	if !strings.Contains(out, "title") || !strings.Contains(out, "beta") {
+		t.Fatalf("plot missing labels:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("plot missing markers")
+	}
+	// Max label appears.
+	if !strings.Contains(out, "30") {
+		t.Fatalf("plot missing y max:\n%s", out)
+	}
+}
+
+func TestPlotTwoSeriesDistinctMarkers(t *testing.T) {
+	p := NewPlot("t", "x", "y", []float64{1, 2})
+	p.AddSeries("s1", []float64{1, 2})
+	p.AddSeries("s2", []float64{2, 1})
+	out := p.String()
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+}
+
+func TestPlotEmptyAndFlat(t *testing.T) {
+	p := NewPlot("empty", "x", "y", nil)
+	if !strings.Contains(p.String(), "no data") {
+		t.Fatal("empty plot not handled")
+	}
+	p2 := NewPlot("flat", "x", "y", []float64{1})
+	p2.AddSeries("s", []float64{5})
+	if p2.String() == "" {
+		t.Fatal("flat plot not rendered")
+	}
+	p3 := NewPlot("nan", "x", "y", []float64{1})
+	p3.AddSeries("s", []float64{math.NaN()})
+	if !strings.Contains(p3.String(), "no finite data") {
+		t.Fatal("all-NaN plot not handled")
+	}
+}
+
+func TestPlotSeriesLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	p := NewPlot("t", "x", "y", []float64{1, 2})
+	p.AddSeries("bad", []float64{1})
+}
