@@ -5,7 +5,7 @@
 // Usage:
 //
 //	bbtrade -experiment fig2a|fig2b|fig3|runtime|scalability|compare|ablation|pareto|all
-//	        [-csv]
+//	        [-csv] [-parallel N]
 package main
 
 import (
@@ -30,12 +30,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		exp = fs.String("experiment", "all",
 			"fig2a | fig2b | fig3 | runtime | scalability | compare | ablation | pareto | latency | all")
-		csv = fs.Bool("csv", false, "emit CSV instead of tables/plots")
+		csv      = fs.Bool("csv", false, "emit CSV instead of tables/plots")
+		parallel = fs.Int("parallel", 0,
+			"worker pool size for sweep experiments (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	opt := core.Options{}
+	opt := core.Options{Parallelism: *parallel}
 
 	runOne := func(name string) int {
 		switch name {

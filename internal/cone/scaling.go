@@ -34,6 +34,7 @@ type Scaling struct {
 type socScaling struct {
 	v    linalg.Vector // Jordan square root of the scaling point w
 	detV float64       // det(v) = √det(w) = √(‖s‖_J / ‖z‖_J)
+	vinv linalg.Vector // v⁻¹ = J v / det(v), so P(v)⁻¹ = P(v⁻¹)
 }
 
 // NewScaling computes the NT scaling for the pair (s, z). Both points must be
@@ -96,7 +97,13 @@ func newSOCScaling(s, z linalg.Vector) (socScaling, error) {
 	for i := 1; i < q; i++ {
 		v[i] = w[i] / (2 * v0)
 	}
-	return socScaling{v: v, detV: math.Sqrt(detW)}, nil
+	detV := math.Sqrt(detW)
+	vinv := make(linalg.Vector, q)
+	vinv[0] = v[0] / detV
+	for i := 1; i < q; i++ {
+		vinv[i] = -v[i] / detV
+	}
+	return socScaling{v: v, detV: detV, vinv: vinv}, nil
 }
 
 // jnorm returns √(x₀² − ‖x₁‖²) for an interior SOC point (NaN guarded to 0).
@@ -150,16 +157,28 @@ func (w *Scaling) ApplyInv(dst, x linalg.Vector) {
 	off := w.dims.NonNeg
 	for bi, q := range w.dims.SOC {
 		blk := w.blocks[bi]
-		vinv := make(linalg.Vector, q)
-		vinv[0] = blk.v[0] / blk.detV
-		for i := 1; i < q; i++ {
-			vinv[i] = -blk.v[i] / blk.detV
-		}
 		tmp := make(linalg.Vector, q)
-		applyP(vinv, 1/blk.detV, tmp, x[off:off+q])
+		applyP(blk.vinv, 1/blk.detV, tmp, x[off:off+q])
 		copy(dst[off:off+q], tmp)
 		off += q
 	}
+}
+
+// OrthantInv returns the inverse diagonal entry 1/dᵢ of W for orthant row i
+// (0 ≤ i < Dims.NonNeg): the factor that row i of G picks up in W⁻¹G.
+func (w *Scaling) OrthantInv(i int) float64 { return 1 / w.d[i] }
+
+// ApplyInvSOC writes P(v⁻¹) x into dst for SOC block bi; both vectors must
+// have the block's length and must not alias. Together with OrthantInv this
+// lets callers apply W⁻¹ blockwise to matrix columns without materializing
+// dense cone-dimension vectors — the building block of the sparse
+// normal-equations assembly.
+func (w *Scaling) ApplyInvSOC(bi int, dst, x linalg.Vector) {
+	blk := w.blocks[bi]
+	if len(dst) != len(blk.v) || len(x) != len(blk.v) {
+		panic("cone: ApplyInvSOC block length mismatch")
+	}
+	applyP(blk.vinv, 1/blk.detV, dst, x)
 }
 
 // ScaleRows overwrites each column slice of the m×n matrix g (given as the
@@ -184,11 +203,6 @@ func (w *Scaling) ScaleRows(g *linalg.Matrix) {
 	out := make(linalg.Vector, 0, 16)
 	for bi, q := range w.dims.SOC {
 		blk := w.blocks[bi]
-		vinv := make(linalg.Vector, q)
-		vinv[0] = blk.v[0] / blk.detV
-		for i := 1; i < q; i++ {
-			vinv[i] = -blk.v[i] / blk.detV
-		}
 		col = col[:0]
 		out = out[:0]
 		if cap(col) < q {
@@ -202,7 +216,7 @@ func (w *Scaling) ScaleRows(g *linalg.Matrix) {
 			for r := 0; r < q; r++ {
 				col[r] = g.Data[(off+r)*n+j]
 			}
-			applyP(vinv, 1/blk.detV, out, col)
+			applyP(blk.vinv, 1/blk.detV, out, col)
 			for r := 0; r < q; r++ {
 				g.Data[(off+r)*n+j] = out[r]
 			}

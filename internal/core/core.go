@@ -61,6 +61,12 @@ type Options struct {
 	// SkipVerification disables the post-rounding SRDF verification (used
 	// only by benchmarks that measure pure solve time).
 	SkipVerification bool
+	// Parallelism bounds the worker pool used by the sweep drivers
+	// (SweepBufferCaps, ParetoFrontier, and the experiments built on them),
+	// which run one independent SOCP solve per sweep point. Values ≤ 0
+	// select GOMAXPROCS; 1 forces sequential execution. Results are ordered
+	// deterministically either way.
+	Parallelism int
 }
 
 // Result is the outcome of Solve.

@@ -54,8 +54,10 @@ func ParetoFrontier(c *taskgraph.Config, steps int, opt Options) ([]ParetoPoint,
 		bufferMean = 1
 	}
 
-	var points []ParetoPoint
-	for i := 0; i < steps; i++ {
+	// The per-ratio solves are independent; run them on the bounded worker
+	// pool. Ordering stays deterministic because RunSweep returns results in
+	// input order and the non-optimal filter below preserves it.
+	solved, err := RunSweep(steps, opt.Parallelism, func(i int) (ParetoPoint, error) {
 		// ratio from 1e-3 to 1e+3 in log space.
 		exp := -3 + 6*float64(i)/float64(steps-1)
 		ratio := math.Pow(10, exp)
@@ -70,12 +72,12 @@ func ParetoFrontier(c *taskgraph.Config, steps int, opt Options) ([]ParetoPoint,
 		}
 		r, err := Solve(cc, opt)
 		if err != nil {
-			return nil, err
-		}
-		if r.Status != StatusOptimal {
-			continue // infeasible stays infeasible at every ratio; skip defensively
+			return ParetoPoint{}, err
 		}
 		pt := ParetoPoint{WeightRatio: ratio, Result: r}
+		if r.Status != StatusOptimal {
+			return pt, nil // filtered below; infeasible stays infeasible at every ratio
+		}
 		for _, b := range r.Mapping.Budgets {
 			pt.BudgetTotal += b
 		}
@@ -85,7 +87,16 @@ func ParetoFrontier(c *taskgraph.Config, steps int, opt Options) ([]ParetoPoint,
 				pt.MemoryTotal += r.Mapping.Capacities[bf.Name] * bf.EffectiveContainerSize()
 			}
 		}
-		points = append(points, pt)
+		return pt, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var points []ParetoPoint
+	for _, pt := range solved {
+		if pt.Result.Status == StatusOptimal {
+			points = append(points, pt)
+		}
 	}
 	return nondominated(points), nil
 }

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// RunSweep runs n independent jobs on a bounded worker pool and returns
+// their results in input order. Every reproduced experiment of the paper is
+// a sweep of dozens of independent SOCP solves (one per buffer cap or weight
+// ratio), so this is the scaling primitive behind SweepBufferCaps,
+// ParetoFrontier, and the experiment drivers.
+//
+// parallelism bounds the number of concurrently running jobs; values ≤ 0
+// select GOMAXPROCS. Output ordering is deterministic regardless of
+// scheduling: result i is always fn(i)'s value, and when jobs fail the
+// lowest-index error is returned (exactly what a sequential loop would
+// report first). fn must be safe for concurrent invocation when parallelism
+// exceeds 1; with parallelism 1 the jobs run sequentially on the calling
+// goroutine.
+func RunSweep[T any](n, parallelism int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	results := make([]T, n)
+	if parallelism == 1 {
+		for i := 0; i < n; i++ {
+			r, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(parallelism)
+	for w := 0; w < parallelism; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				results[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

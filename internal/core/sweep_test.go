@@ -1,0 +1,139 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/socp"
+	"repro/internal/taskgraph"
+)
+
+func TestRunSweepOrdering(t *testing.T) {
+	for _, par := range []int{0, 1, 2, 4, 16, 100} {
+		got, err := RunSweep(20, par, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if len(got) != 20 {
+			t.Fatalf("parallelism %d: %d results", par, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("parallelism %d: result[%d] = %d, want %d", par, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunSweepEmpty(t *testing.T) {
+	got, err := RunSweep(0, 4, func(i int) (int, error) { return 0, errors.New("never called") })
+	if err != nil || got != nil {
+		t.Fatalf("got %v, %v; want nil, nil", got, err)
+	}
+}
+
+func TestRunSweepLowestIndexError(t *testing.T) {
+	for _, par := range []int{1, 3, 8} {
+		_, err := RunSweep(10, par, func(i int) (int, error) {
+			if i == 3 || i == 7 {
+				return 0, fmt.Errorf("fail at %d", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "fail at 3" {
+			t.Fatalf("parallelism %d: err = %v, want fail at 3", par, err)
+		}
+	}
+}
+
+// TestSweepBufferCapsParallelDeterminism: the acceptance criterion that a
+// parallel sweep is indistinguishable from the sequential one — same points,
+// same order, same solver iterates.
+func TestSweepBufferCapsParallelDeterminism(t *testing.T) {
+	caps := []int{1, 2, 3, 4, 5, 6}
+	seq, err := SweepBufferCaps(gen.PaperT1(0), nil, caps, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := SweepBufferCaps(gen.PaperT1(0), nil, caps, Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("parallel sweep differs from sequential:\nseq %+v\npar %+v", seq, par)
+	}
+}
+
+func TestParetoFrontierParallelDeterminism(t *testing.T) {
+	seq, err := ParetoFrontier(gen.PaperT1(0), 7, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ParetoFrontier(gen.PaperT1(0), 7, Options{Parallelism: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("parallel frontier differs from sequential:\nseq %+v\npar %+v", seq, par)
+	}
+}
+
+// TestSolveSparseMatchesDenseOracleCore: end-to-end property test on the gen
+// instances — the default sparse KKT pipeline and the dense oracle must agree
+// on the relaxed optimum and the continuous variables to 1e-6.
+func TestSolveSparseMatchesDenseOracleCore(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  *taskgraph.Config
+	}{
+		{"T1", gen.PaperT1(3)},
+		{"T2", gen.PaperT2(5)},
+		{"chain", gen.Chain(gen.ChainOptions{Tasks: 5})},
+		{"random17", gen.RandomJobs(gen.RandomOptions{Seed: 17})},
+		{"random99", gen.RandomJobs(gen.RandomOptions{Seed: 99})},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sp, err := Solve(tc.cfg, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var de *Result
+			de, err = Solve(tc.cfg, Options{Solver: socp.Options{DenseKKT: true}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sp.Status != de.Status {
+				t.Fatalf("status sparse=%v dense=%v", sp.Status, de.Status)
+			}
+			if sp.Status != StatusOptimal {
+				t.Skipf("instance not optimal (%v)", sp.Status)
+			}
+			if d := abs(sp.ContinuousObjective - de.ContinuousObjective); d > 1e-6*(1+abs(de.ContinuousObjective)) {
+				t.Fatalf("objective differs by %g: sparse %v, dense %v", d, sp.ContinuousObjective, de.ContinuousObjective)
+			}
+			for k, v := range de.ContinuousBudgets {
+				if d := abs(sp.ContinuousBudgets[k] - v); d > 1e-6*(1+abs(v)) {
+					t.Fatalf("budget %s differs by %g", k, d)
+				}
+			}
+			for k, v := range de.ContinuousDeltas {
+				if d := abs(sp.ContinuousDeltas[k] - v); d > 1e-6*(1+abs(v)) {
+					t.Fatalf("delta %s differs by %g", k, d)
+				}
+			}
+			if sp.SolverIterations != de.SolverIterations {
+				t.Fatalf("iterations diverge: sparse %d, dense %d", sp.SolverIterations, de.SolverIterations)
+			}
+		})
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

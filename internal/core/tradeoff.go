@@ -18,43 +18,50 @@ type TradeoffPoint struct {
 // SweepBufferCaps explores the budget/buffer trade-off the way the paper's
 // experiments do: it solves the configuration once per cap value, with the
 // cap applied as MaxContainers to the named buffers (all buffers when
-// buffers is nil). The input configuration is not modified.
+// buffers is nil). The input configuration is not modified. The per-cap
+// solves are independent and run on a worker pool bounded by
+// Options.Parallelism, with deterministic output ordering.
 func SweepBufferCaps(c *taskgraph.Config, buffers []string, caps []int, opt Options) ([]TradeoffPoint, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
+	}
+	for _, cap := range caps {
+		if cap < 1 {
+			return nil, fmt.Errorf("core: buffer cap %d < 1", cap)
+		}
 	}
 	want := map[string]bool{}
 	for _, b := range buffers {
 		want[b] = true
 	}
 	found := map[string]bool{}
-	points := make([]TradeoffPoint, 0, len(caps))
-	for _, cap := range caps {
-		if cap < 1 {
-			return nil, fmt.Errorf("core: buffer cap %d < 1", cap)
-		}
-		cc := c.Clone()
-		for _, tg := range cc.Graphs {
-			for i := range tg.Buffers {
-				bf := &tg.Buffers[i]
-				if buffers == nil || want[bf.Name] {
-					bf.MaxContainers = cap
-					found[bf.Name] = true
-				}
+	for _, tg := range c.Graphs {
+		for i := range tg.Buffers {
+			if bf := &tg.Buffers[i]; buffers == nil || want[bf.Name] {
+				found[bf.Name] = true
 			}
 		}
-		r, err := Solve(cc, opt)
-		if err != nil {
-			return nil, err
-		}
-		points = append(points, TradeoffPoint{Cap: cap, Result: r})
 	}
 	for b := range want {
 		if !found[b] {
 			return nil, fmt.Errorf("core: swept buffer %q not found in configuration", b)
 		}
 	}
-	return points, nil
+	return RunSweep(len(caps), opt.Parallelism, func(i int) (TradeoffPoint, error) {
+		cc := c.Clone()
+		for _, tg := range cc.Graphs {
+			for j := range tg.Buffers {
+				if bf := &tg.Buffers[j]; buffers == nil || want[bf.Name] {
+					bf.MaxContainers = caps[i]
+				}
+			}
+		}
+		r, err := Solve(cc, opt)
+		if err != nil {
+			return TradeoffPoint{}, err
+		}
+		return TradeoffPoint{Cap: caps[i], Result: r}, nil
+	})
 }
 
 // BudgetSum returns the total allocated budget of a result's mapping, or NaN

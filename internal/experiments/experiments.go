@@ -45,7 +45,9 @@ type Fig2Point struct {
 }
 
 // Fig2 sweeps the buffer capacity of the paper's producer-consumer graph T1
-// from 1 to 10 containers and returns the budget trade-off curve.
+// from 1 to 10 containers and returns the budget trade-off curve. The ten
+// solves are independent and run on the worker pool selected by
+// opt.Parallelism (via core.SweepBufferCaps).
 func Fig2(opt core.Options) ([]Fig2Point, error) {
 	caps := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
 	points, err := core.SweepBufferCaps(gen.PaperT1(0), nil, caps, opt)
@@ -115,7 +117,8 @@ type Fig3Point struct {
 
 // Fig3 sweeps both buffer capacities of T2 from 1 to 10 and records how the
 // optimizer distributes the budget reduction: wb interacts with two buffers,
-// so wa and wc are reduced first.
+// so wa and wc are reduced first. Like Fig2, the sweep runs on the
+// opt.Parallelism worker pool.
 func Fig3(opt core.Options) ([]Fig3Point, error) {
 	caps := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
 	points, err := core.SweepBufferCaps(gen.PaperT2(0), nil, caps, opt)
@@ -166,9 +169,11 @@ type RuntimeRow struct {
 }
 
 // Runtime solves the paper's two experiment instances (T1 across its sweep
-// and T2 across its sweep) and reports wall-clock solve times.
+// and T2 across its sweep) and reports wall-clock solve times. The instances
+// run on the worker pool selected by opt.Parallelism; each row's time is the
+// wall clock of its own solve, so on a contended machine set Parallelism to
+// 1 for the cleanest per-instance numbers.
 func Runtime(opt core.Options) ([]RuntimeRow, error) {
-	rows := []RuntimeRow{}
 	instances := []struct {
 		name string
 		cap  int
@@ -181,7 +186,8 @@ func Runtime(opt core.Options) ([]RuntimeRow, error) {
 		{"T2 cap=5", 5, true},
 		{"T2 cap=10", 10, true},
 	}
-	for _, inst := range instances {
+	return core.RunSweep(len(instances), opt.Parallelism, func(i int) (RuntimeRow, error) {
+		inst := instances[i]
 		cfg := gen.PaperT1(inst.cap)
 		if inst.t2 {
 			cfg = gen.PaperT2(inst.cap)
@@ -190,20 +196,19 @@ func Runtime(opt core.Options) ([]RuntimeRow, error) {
 		r, err := core.Solve(cfg, opt)
 		elapsed := time.Since(start)
 		if err != nil {
-			return nil, err
+			return RuntimeRow{}, err
 		}
 		if r.Status != core.StatusOptimal {
-			return nil, fmt.Errorf("experiments: %s: %v", inst.name, r.Status)
+			return RuntimeRow{}, fmt.Errorf("experiments: %s: %v", inst.name, r.Status)
 		}
-		rows = append(rows, RuntimeRow{
+		return RuntimeRow{
 			Instance:   inst.name,
 			Tasks:      len(cfg.Graphs[0].Tasks),
 			Buffers:    len(cfg.Graphs[0].Buffers),
 			Iterations: r.SolverIterations,
 			Millis:     float64(elapsed.Microseconds()) / 1000,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // RenderRuntime renders the run-time table.

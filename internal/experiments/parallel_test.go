@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// The experiments must produce byte-identical outputs whether the sweep runs
+// sequentially or on a worker pool.
+
+func TestFig2ParallelDeterminism(t *testing.T) {
+	seq, err := Fig2(core.Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Fig2(core.Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("parallel Fig2 differs:\nseq %+v\npar %+v", seq, par)
+	}
+	if RenderFig2a(seq) != RenderFig2a(par) || RenderFig2b(seq) != RenderFig2b(par) {
+		t.Fatal("rendered figures differ between sequential and parallel sweeps")
+	}
+}
+
+func TestFig3ParallelDeterminism(t *testing.T) {
+	seq, err := Fig3(core.Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Fig3(core.Options{Parallelism: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("parallel Fig3 differs:\nseq %+v\npar %+v", seq, par)
+	}
+}
+
+func TestRuntimeParallelDeterminism(t *testing.T) {
+	seq, err := Runtime(core.Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Runtime(core.Options{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("row counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		a, b := seq[i], par[i]
+		a.Millis, b.Millis = 0, 0 // wall clock is the only nondeterministic column
+		if a != b {
+			t.Fatalf("row %d differs: %+v vs %+v", i, seq[i], par[i])
+		}
+	}
+}

@@ -9,13 +9,23 @@ import (
 // a non-positive pivot even after the allowed regularization.
 var ErrNotPositiveDefinite = errors.New("linalg: matrix is not positive definite")
 
-// Cholesky holds a lower-triangular Cholesky factor L with A ≈ LLᵀ.
+// Cholesky holds a lower-triangular Cholesky factor L with A ≈ LLᵀ. A
+// Cholesky can be reused as a factorization workspace across matrices of the
+// same size via Factorize, which avoids reallocating the factor in iterative
+// algorithms that refactorize every step.
 type Cholesky struct {
 	n int
 	l *Matrix // lower triangular, diagonal > 0
 	// shift is the static regularization that was added to the diagonal
 	// (0 when the matrix factorized cleanly).
-	shift float64
+	shift   float64
+	scratch Vector // refinement residual, len n
+}
+
+// NewCholeskyWorkspace returns an unfactorized n×n Cholesky workspace;
+// Factorize must be called before Solve.
+func NewCholeskyWorkspace(n int) *Cholesky {
+	return &Cholesky{n: n, l: NewMatrix(n, n), scratch: NewVector(n)}
 }
 
 // NewCholesky factorizes the symmetric positive-definite matrix A (only the
@@ -23,18 +33,30 @@ type Cholesky struct {
 // reg > 0, it retries with increasing diagonal shifts reg, 10·reg, … up to
 // 1e8·reg before giving up.
 func NewCholesky(a *Matrix, reg float64) (*Cholesky, error) {
+	c := NewCholeskyWorkspace(a.Rows)
+	if err := c.Factorize(a, reg); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Factorize (re)factorizes A into the existing workspace, with the same
+// regularization retry policy as NewCholesky. A must be n×n.
+func (c *Cholesky) Factorize(a *Matrix, reg float64) error {
 	if a.Rows != a.Cols {
 		panic("linalg: Cholesky of non-square matrix")
 	}
-	n := a.Rows
+	if a.Rows != c.n {
+		panic("linalg: Cholesky.Factorize dimension mismatch")
+	}
 	shift := 0.0
 	for attempt := 0; ; attempt++ {
-		l, ok := tryCholesky(a, shift)
-		if ok {
-			return &Cholesky{n: n, l: l, shift: shift}, nil
+		if tryCholesky(a, shift, c.l) {
+			c.shift = shift
+			return nil
 		}
 		if reg <= 0 || attempt > 9 {
-			return nil, ErrNotPositiveDefinite
+			return ErrNotPositiveDefinite
 		}
 		if shift == 0 {
 			shift = reg
@@ -44,9 +66,10 @@ func NewCholesky(a *Matrix, reg float64) (*Cholesky, error) {
 	}
 }
 
-func tryCholesky(a *Matrix, shift float64) (*Matrix, bool) {
+// tryCholesky writes the factor into l (which must be n×n; only the lower
+// triangle including the diagonal is written and later read).
+func tryCholesky(a *Matrix, shift float64, l *Matrix) bool {
 	n := a.Rows
-	l := NewMatrix(n, n)
 	for j := 0; j < n; j++ {
 		d := a.At(j, j) + shift
 		lrowj := l.Data[j*n : j*n+j]
@@ -54,7 +77,7 @@ func tryCholesky(a *Matrix, shift float64) (*Matrix, bool) {
 			d -= v * v
 		}
 		if d <= 0 || math.IsNaN(d) {
-			return nil, false
+			return false
 		}
 		d = math.Sqrt(d)
 		l.Set(j, j, d)
@@ -68,7 +91,7 @@ func tryCholesky(a *Matrix, shift float64) (*Matrix, bool) {
 			l.Set(i, j, s*inv)
 		}
 	}
-	return l, true
+	return true
 }
 
 // Shift returns the diagonal regularization that was applied (0 if none).
@@ -109,7 +132,7 @@ func (c *Cholesky) SolveRefined(a *Matrix, b Vector, x Vector) {
 	x.CopyFrom(b)
 	c.Solve(x)
 	// Residual r = b - A x; correct x by A⁻¹ r.
-	r := NewVector(c.n)
+	r := c.scratch
 	a.MulVec(r, x)
 	for i := range r {
 		r[i] = b[i] - r[i]
@@ -121,11 +144,19 @@ func (c *Cholesky) SolveRefined(a *Matrix, b Vector, x Vector) {
 // LDLT holds an LDLᵀ factorization of a symmetric (possibly indefinite,
 // quasi-definite) matrix without pivoting: A ≈ L D Lᵀ with unit lower
 // triangular L and diagonal D. It is intended for KKT systems that are
-// symmetric quasi-definite after regularization.
+// symmetric quasi-definite after regularization. Like Cholesky, an LDLT can
+// be reused as a factorization workspace via Factorize.
 type LDLT struct {
-	n int
-	l *Matrix
-	d Vector
+	n       int
+	l       *Matrix
+	d       Vector
+	scratch Vector // refinement residual, len n
+}
+
+// NewLDLTWorkspace returns an unfactorized n×n LDLᵀ workspace; Factorize
+// must be called before Solve.
+func NewLDLTWorkspace(n int) *LDLT {
+	return &LDLT{n: n, l: Identity(n), d: NewVector(n), scratch: NewVector(n)}
 }
 
 // NewLDLT factorizes A (reading the full matrix; A must be symmetric).
@@ -133,12 +164,23 @@ type LDLT struct {
 // preserving sign (or +eps when zero), which keeps the factorization usable
 // for quasi-definite KKT matrices.
 func NewLDLT(a *Matrix, eps float64) (*LDLT, error) {
+	f := NewLDLTWorkspace(a.Rows)
+	if err := f.Factorize(a, eps); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Factorize (re)factorizes A into the existing workspace with the same
+// diagonal-floor policy as NewLDLT. A must be n×n.
+func (f *LDLT) Factorize(a *Matrix, eps float64) error {
 	if a.Rows != a.Cols {
 		panic("linalg: LDLT of non-square matrix")
 	}
-	n := a.Rows
-	l := Identity(n)
-	d := NewVector(n)
+	if a.Rows != f.n {
+		panic("linalg: LDLT.Factorize dimension mismatch")
+	}
+	n, l, d := f.n, f.l, f.d
 	for j := 0; j < n; j++ {
 		dj := a.At(j, j)
 		for k := 0; k < j; k++ {
@@ -146,7 +188,7 @@ func NewLDLT(a *Matrix, eps float64) (*LDLT, error) {
 			dj -= v * v * d[k]
 		}
 		if math.IsNaN(dj) {
-			return nil, ErrNotPositiveDefinite
+			return ErrNotPositiveDefinite
 		}
 		if math.Abs(dj) < eps {
 			if dj < 0 {
@@ -164,7 +206,7 @@ func NewLDLT(a *Matrix, eps float64) (*LDLT, error) {
 			l.Set(i, j, s/dj)
 		}
 	}
-	return &LDLT{n: n, l: l, d: d}, nil
+	return nil
 }
 
 // Solve solves A x = b in place.
@@ -197,7 +239,7 @@ func (f *LDLT) Solve(b Vector) {
 func (f *LDLT) SolveRefined(a *Matrix, b Vector, x Vector) {
 	x.CopyFrom(b)
 	f.Solve(x)
-	r := NewVector(f.n)
+	r := f.scratch
 	a.MulVec(r, x)
 	for i := range r {
 		r[i] = b[i] - r[i]

@@ -31,6 +31,20 @@ type Problem struct {
 	A    *linalg.Matrix // optional
 	B    linalg.Vector  // optional, len = A.Rows
 	Dims cone.Dims
+
+	// sv is the lazily-built sparse view of G and A used by the solver's
+	// sparse KKT path. It caches the symbolic sparsity pattern of the scaled
+	// constraint matrix, which is fixed across all interior-point iterations.
+	// Callers must not mutate G or A after the first Solve.
+	sv *sparseView
+}
+
+// sparse returns the problem's sparse view, building it on first use.
+func (p *Problem) sparse() *sparseView {
+	if p.sv == nil {
+		p.sv = newSparseView(p)
+	}
+	return p.sv
 }
 
 // Validate checks the problem shapes.
@@ -132,6 +146,12 @@ type Options struct {
 	// KKTReg is the static regularization added to the normal-equations
 	// diagonal; default 1e-13 (scaled by the matrix norm).
 	KKTReg float64
+	// DenseKKT disables the sparse normal-equations fast path and assembles
+	// Gᵀ W⁻² G from a dense copy of G every iteration, as the solver did
+	// before the sparse path existed. The dense path is the correctness
+	// oracle the sparse path is tested against — both produce identical
+	// iterates; the dense one is only slower.
+	DenseKKT bool
 	// Trace enables per-iteration progress output on stdout (debugging).
 	Trace bool
 }

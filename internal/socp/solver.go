@@ -39,6 +39,142 @@ type state struct {
 	bnorm float64
 	hnorm float64
 	cnorm float64
+
+	// sv is the sparse view of the (equilibrated) problem's constraint
+	// matrices; nil when Options.DenseKKT selects the dense oracle path.
+	sv *sparseView
+	ws workspace
+}
+
+// workspace holds every buffer the solver reuses across iterations, so that
+// after initWorkspace the hot loop performs no matrix allocations and no
+// per-iteration vector allocations.
+type workspace struct {
+	// KKT assembly and factorization (reused every iteration).
+	hmat *linalg.Matrix // Gᵀ W⁻² G (unregularized, for refinement)
+	hreg *linalg.Matrix // hmat + reg·I, the factorized matrix (pe == 0)
+	chol *linalg.Cholesky
+	kkt  *linalg.Matrix // assembled [[H,Aᵀ],[A,0]] (pe > 0)
+	ldlt *linalg.LDLT
+
+	// kktFactor.solve: iterative-refinement scratch.
+	r1, r2, r3          linalg.Vector // n, pe, m residuals
+	w2z                 linalg.Vector // m
+	curX, curY, curZ    linalg.Vector // running refined iterate
+	bestX, bestY, bestZ linalg.Vector // best iterate seen
+	corX, corY, corZ    linalg.Vector // correction step
+
+	// solveOnce scratch.
+	t, rhs     linalg.Vector // m, n
+	full, fsol linalg.Vector // n+pe (pe > 0)
+
+	// Main-loop scratch.
+	rx, ry, rz         linalg.Vector // residuals
+	gz, gx, ax         linalg.Vector // Farkas certificate scratch (n, m, pe)
+	nbx, nby, nbz, nwu linalg.Vector // newton right-hand sides
+	nt, nds            linalg.Vector // newton ds recovery
+	uaff               linalg.Vector // m, scaled complementarity term
+	wds, wdz, corr, dc linalg.Vector // m, Mehrotra corrector
+	ns, nz             linalg.Vector // m, step back-off double buffers
+}
+
+// initWorkspace allocates the per-solve buffers once; the iteration loop
+// reuses them instead of calling NewMatrix/Clone each pass.
+func (st *state) initWorkspace() {
+	n, m, pe := st.n, st.m, st.pe
+	ws := &st.ws
+	ws.hmat = linalg.NewMatrix(n, n)
+	if pe == 0 {
+		ws.hreg = linalg.NewMatrix(n, n)
+		ws.chol = linalg.NewCholeskyWorkspace(n)
+	} else {
+		ws.kkt = linalg.NewMatrix(n+pe, n+pe)
+		ws.ldlt = linalg.NewLDLTWorkspace(n + pe)
+		ws.full = linalg.NewVector(n + pe)
+		ws.fsol = linalg.NewVector(n + pe)
+	}
+	ws.r1 = linalg.NewVector(n)
+	ws.r2 = linalg.NewVector(pe)
+	ws.r3 = linalg.NewVector(m)
+	ws.w2z = linalg.NewVector(m)
+	ws.curX, ws.curY, ws.curZ = linalg.NewVector(n), linalg.NewVector(pe), linalg.NewVector(m)
+	ws.bestX, ws.bestY, ws.bestZ = linalg.NewVector(n), linalg.NewVector(pe), linalg.NewVector(m)
+	ws.corX, ws.corY, ws.corZ = linalg.NewVector(n), linalg.NewVector(pe), linalg.NewVector(m)
+	ws.t = linalg.NewVector(m)
+	ws.rhs = linalg.NewVector(n)
+	ws.rx = linalg.NewVector(n)
+	ws.ry = linalg.NewVector(pe)
+	ws.rz = linalg.NewVector(m)
+	ws.gz = linalg.NewVector(n)
+	ws.gx = linalg.NewVector(m)
+	ws.ax = linalg.NewVector(pe)
+	ws.nbx = linalg.NewVector(n)
+	ws.nby = linalg.NewVector(pe)
+	ws.nbz = linalg.NewVector(m)
+	ws.nwu = linalg.NewVector(m)
+	ws.nt = linalg.NewVector(m)
+	ws.nds = linalg.NewVector(m)
+	ws.uaff = linalg.NewVector(m)
+	ws.wds = linalg.NewVector(m)
+	ws.wdz = linalg.NewVector(m)
+	ws.corr = linalg.NewVector(m)
+	ws.dc = linalg.NewVector(m)
+	ws.ns = linalg.NewVector(m)
+	ws.nz = linalg.NewVector(m)
+	if !st.opt.DenseKKT {
+		st.sv = st.p.sparse()
+	}
+}
+
+// Sparse-aware mat-vec dispatch: the CSR view when the sparse path is
+// active, the dense matrices under Options.DenseKKT.
+
+func (st *state) gMulVec(dst, x linalg.Vector) {
+	if st.sv != nil {
+		st.sv.g.MulVec(dst, x)
+	} else {
+		st.p.G.MulVec(dst, x)
+	}
+}
+
+func (st *state) gMulVecAdd(dst linalg.Vector, alpha float64, x linalg.Vector) {
+	if st.sv != nil {
+		st.sv.g.MulVecAdd(dst, alpha, x)
+	} else {
+		st.p.G.MulVecAdd(dst, alpha, x)
+	}
+}
+
+func (st *state) gMulVecTAdd(dst linalg.Vector, alpha float64, x linalg.Vector) {
+	if st.sv != nil {
+		st.sv.g.MulVecTAdd(dst, alpha, x)
+	} else {
+		st.p.G.MulVecTAdd(dst, alpha, x)
+	}
+}
+
+func (st *state) aMulVec(dst, x linalg.Vector) {
+	if st.sv != nil && st.sv.a != nil {
+		st.sv.a.MulVec(dst, x)
+	} else {
+		st.p.A.MulVec(dst, x)
+	}
+}
+
+func (st *state) aMulVecAdd(dst linalg.Vector, alpha float64, x linalg.Vector) {
+	if st.sv != nil && st.sv.a != nil {
+		st.sv.a.MulVecAdd(dst, alpha, x)
+	} else {
+		st.p.A.MulVecAdd(dst, alpha, x)
+	}
+}
+
+func (st *state) aMulVecTAdd(dst linalg.Vector, alpha float64, x linalg.Vector) {
+	if st.sv != nil && st.sv.a != nil {
+		st.sv.a.MulVecTAdd(dst, alpha, x)
+	} else {
+		st.p.A.MulVecTAdd(dst, alpha, x)
+	}
 }
 
 // kktFactor is a factorized KKT system for a fixed NT scaling. It solves
@@ -48,12 +184,12 @@ type state struct {
 //	[ G   0  −W²  ] [z]   [bz]
 //
 // via the normal equations H = Gᵀ W⁻² G (pe == 0) or an LDLᵀ factorization of
-// the reduced KKT matrix [[H, Aᵀ], [A, 0]].
+// the reduced KKT matrix [[H, Aᵀ], [A, 0]]. Its storage is owned by the
+// state's workspace; only one factor is live at a time.
 type kktFactor struct {
 	st *state
 	w  *cone.Scaling // nil means W = I
 
-	gs   *linalg.Matrix // W⁻¹ G
 	hmat *linalg.Matrix // Gᵀ W⁻² G (unregularized, for refinement)
 	chol *linalg.Cholesky
 	kkt  *linalg.Matrix // assembled [[H,Aᵀ],[A,0]] when pe > 0
@@ -61,33 +197,40 @@ type kktFactor struct {
 }
 
 func (st *state) factor(w *cone.Scaling) (*kktFactor, error) {
-	f := &kktFactor{st: st, w: w}
-	f.gs = st.p.G.Clone()
-	if w != nil {
-		w.ScaleRows(f.gs)
+	ws := &st.ws
+	f := &kktFactor{st: st, w: w, hmat: ws.hmat}
+	if st.opt.DenseKKT {
+		// Dense oracle: scale a fresh copy of G and assemble H densely.
+		gs := st.p.G.Clone()
+		if w != nil {
+			w.ScaleRows(gs)
+		}
+		gs.AtAInto(ws.hmat)
+	} else {
+		// Sparse fast path: rewrite the values of the fixed W⁻¹G pattern and
+		// assemble H touching structural nonzeros only.
+		st.sv.fillScaled(w)
+		st.sv.gs.AtAInto(ws.hmat)
 	}
-	f.hmat = linalg.NewMatrix(st.n, st.n)
-	f.gs.AtAInto(f.hmat)
-	reg := st.opt.KKTReg * (1 + f.hmat.NormInf())
+	reg := st.opt.KKTReg * (1 + ws.hmat.NormInf())
 	if st.pe == 0 {
-		hreg := f.hmat.Clone()
+		hreg := ws.hreg
+		copy(hreg.Data, ws.hmat.Data)
 		for i := 0; i < st.n; i++ {
 			hreg.Add(i, i, reg)
 		}
-		chol, err := linalg.NewCholesky(hreg, reg)
-		if err != nil {
+		if err := ws.chol.Factorize(hreg, reg); err != nil {
 			return nil, err
 		}
-		f.chol = chol
+		f.chol = ws.chol
 		return f, nil
 	}
 	// Assemble the quasi-definite reduced KKT matrix.
+	k := ws.kkt
+	k.Zero()
 	nt := st.n + st.pe
-	k := linalg.NewMatrix(nt, nt)
 	for i := 0; i < st.n; i++ {
-		for j := 0; j < st.n; j++ {
-			k.Set(i, j, f.hmat.At(i, j))
-		}
+		copy(k.Data[i*nt:i*nt+st.n], ws.hmat.Data[i*st.n:(i+1)*st.n])
 		k.Add(i, i, reg)
 	}
 	for i := 0; i < st.pe; i++ {
@@ -98,12 +241,11 @@ func (st *state) factor(w *cone.Scaling) (*kktFactor, error) {
 		}
 		k.Set(st.n+i, st.n+i, -reg)
 	}
-	ld, err := linalg.NewLDLT(k, reg)
-	if err != nil {
+	if err := ws.ldlt.Factorize(k, reg); err != nil {
 		return nil, err
 	}
 	f.kkt = k
-	f.ldlt = ld
+	f.ldlt = ws.ldlt
 	return f, nil
 }
 
@@ -111,95 +253,97 @@ func (st *state) factor(w *cone.Scaling) (*kktFactor, error) {
 // iterative refinement, which keeps the dual residual accurate even when the
 // NT scaling is nearly singular at the end of the solve. Refinement iterates
 // until the KKT residual stops improving (at most 4 passes) and returns the
-// best iterate seen.
+// best iterate seen. The returned vectors are workspace-owned and valid only
+// until the next solve call; callers that keep them must clone.
 func (f *kktFactor) solve(bx, by, bz linalg.Vector) (dx, dy, dz linalg.Vector) {
-	dx, dy, dz = f.solveOnce(bx, by, bz)
-	bestX, bestY, bestZ := dx, dy, dz
+	ws := &f.st.ws
+	cx, cy, cz := ws.curX, ws.curY, ws.curZ
+	f.solveOnce(bx, by, bz, cx, cy, cz)
 	bestRes := math.Inf(1)
 	for pass := 0; pass < 4; pass++ {
-		r1, r2, r3 := f.residual(bx, by, bz, dx, dy, dz)
-		res := math.Max(linalg.NormInf(r1), math.Max(linalg.NormInf(r2), linalg.NormInf(r3)))
+		f.residual(bx, by, bz, cx, cy, cz)
+		res := math.Max(linalg.NormInf(ws.r1), math.Max(linalg.NormInf(ws.r2), linalg.NormInf(ws.r3)))
 		if res < bestRes {
 			bestRes = res
-			bestX, bestY, bestZ = dx.Clone(), dy.Clone(), dz.Clone()
+			ws.bestX.CopyFrom(cx)
+			ws.bestY.CopyFrom(cy)
+			ws.bestZ.CopyFrom(cz)
 		} else {
 			break // refinement stopped converging
 		}
 		if res == 0 {
 			break
 		}
-		cx, cy, cz := f.solveOnce(r1, r2, r3)
-		dx = dx.Clone()
-		dy = dy.Clone()
-		dz = dz.Clone()
-		dx.AddScaled(1, cx)
-		dy.AddScaled(1, cy)
-		dz.AddScaled(1, cz)
+		f.solveOnce(ws.r1, ws.r2, ws.r3, ws.corX, ws.corY, ws.corZ)
+		cx.AddScaled(1, ws.corX)
+		cy.AddScaled(1, ws.corY)
+		cz.AddScaled(1, ws.corZ)
 	}
-	return bestX, bestY, bestZ
+	return ws.bestX, ws.bestY, ws.bestZ
 }
 
-// residual computes the residual of the 3x3 block KKT system at (x, y, z).
-func (f *kktFactor) residual(bx, by, bz, x, y, z linalg.Vector) (r1, r2, r3 linalg.Vector) {
+// residual computes the residual of the 3x3 block KKT system at (x, y, z)
+// into the workspace vectors r1, r2, r3.
+func (f *kktFactor) residual(bx, by, bz, x, y, z linalg.Vector) {
 	st := f.st
-	r1 = bx.Clone() // bx − Gᵀz − Aᵀy
-	st.p.G.MulVecTAdd(r1, -1, z)
+	ws := &st.ws
+	r1 := ws.r1 // bx − Gᵀz − Aᵀy
+	r1.CopyFrom(bx)
+	st.gMulVecTAdd(r1, -1, z)
 	if st.pe > 0 {
-		st.p.A.MulVecTAdd(r1, -1, y)
+		st.aMulVecTAdd(r1, -1, y)
 	}
-	r2 = by.Clone() // by − Ax
+	r2 := ws.r2 // by − Ax
+	r2.CopyFrom(by)
 	if st.pe > 0 {
-		st.p.A.MulVecAdd(r2, -1, x)
+		st.aMulVecAdd(r2, -1, x)
 	}
-	r3 = bz.Clone() // bz − (Gx − W²z)
-	st.p.G.MulVecAdd(r3, -1, x)
-	w2z := z.Clone()
+	r3 := ws.r3 // bz − (Gx − W²z)
+	r3.CopyFrom(bz)
+	st.gMulVecAdd(r3, -1, x)
+	w2z := ws.w2z
+	w2z.CopyFrom(z)
 	if f.w != nil {
 		f.w.Apply(w2z, w2z)
 		f.w.Apply(w2z, w2z)
 	}
 	linalg.Add(r3, r3, w2z)
-	return r1, r2, r3
 }
 
-// solveOnce performs the factored solve without refinement.
-func (f *kktFactor) solveOnce(bx, by, bz linalg.Vector) (dx, dy, dz linalg.Vector) {
+// solveOnce performs the factored solve without refinement, writing the
+// result into the caller-provided dx, dy, dz buffers.
+func (f *kktFactor) solveOnce(bx, by, bz, dx, dy, dz linalg.Vector) {
 	st := f.st
+	ws := &st.ws
 	// t = W⁻² bz.
-	t := bz.Clone()
+	t := ws.t
+	t.CopyFrom(bz)
 	if f.w != nil {
 		f.w.ApplyInv(t, t)
 		f.w.ApplyInv(t, t)
 	}
 	// rhs = bx + Gᵀ W⁻² bz.
-	rhs := bx.Clone()
-	st.p.G.MulVecTAdd(rhs, 1, t)
-	dx = linalg.NewVector(st.n)
+	rhs := ws.rhs
+	rhs.CopyFrom(bx)
+	st.gMulVecTAdd(rhs, 1, t)
 	if st.pe == 0 {
 		f.chol.SolveRefined(f.hmat, rhs, dx)
 	} else {
-		full := linalg.NewVector(st.n + st.pe)
+		full := ws.full
 		copy(full[:st.n], rhs)
 		copy(full[st.n:], by)
-		sol := linalg.NewVector(st.n + st.pe)
+		sol := ws.fsol
 		f.ldlt.SolveRefined(f.kkt, full, sol)
 		copy(dx, sol[:st.n])
-		dy = linalg.NewVector(st.pe)
 		copy(dy, sol[st.n:])
 	}
 	// dz = W⁻² (G dx − bz).
-	u := linalg.NewVector(st.m)
-	st.p.G.MulVec(u, dx)
-	u.AddScaled(-1, bz)
+	st.gMulVec(dz, dx)
+	dz.AddScaled(-1, bz)
 	if f.w != nil {
-		f.w.ApplyInv(u, u)
-		f.w.ApplyInv(u, u)
+		f.w.ApplyInv(dz, dz)
+		f.w.ApplyInv(dz, dz)
 	}
-	dz = u
-	if dy == nil {
-		dy = linalg.NewVector(0)
-	}
-	return dx, dy, dz
 }
 
 func (st *state) run() (*Solution, error) {
@@ -214,6 +358,7 @@ func (st *state) run() (*Solution, error) {
 	st.bnorm = linalg.Norm2(p.B)
 	st.hnorm = linalg.Norm2(p.H)
 	st.cnorm = linalg.Norm2(p.C)
+	st.initWorkspace()
 
 	if err := st.initPoint(); err != nil {
 		return st.failed(err)
@@ -222,22 +367,28 @@ func (st *state) run() (*Solution, error) {
 	nu := float64(p.Dims.Degree())
 	sol := &Solution{Status: StatusMaxIterations}
 	best := &Solution{Status: StatusMaxIterations}
+	best.X = linalg.NewVector(st.n)
+	best.S = linalg.NewVector(st.m)
+	best.Z = linalg.NewVector(st.m)
+	best.Y = linalg.NewVector(st.pe)
 	bestScore := math.Inf(1)
+	ws := &st.ws
 
 	for iter := 0; iter <= st.opt.MaxIter; iter++ {
 		// Residuals.
-		rx := p.C.Clone() // rx = c + Gᵀz + Aᵀy
-		p.G.MulVecTAdd(rx, 1, st.z)
+		rx := ws.rx // rx = c + Gᵀz + Aᵀy
+		rx.CopyFrom(p.C)
+		st.gMulVecTAdd(rx, 1, st.z)
 		if st.pe > 0 {
-			p.A.MulVecTAdd(rx, 1, st.y)
+			st.aMulVecTAdd(rx, 1, st.y)
 		}
-		ry := linalg.NewVector(st.pe) // ry = Ax − b
+		ry := ws.ry // ry = Ax − b
 		if st.pe > 0 {
-			p.A.MulVec(ry, st.x)
+			st.aMulVec(ry, st.x)
 			ry.AddScaled(-1, p.B)
 		}
-		rz := linalg.NewVector(st.m) // rz = Gx + s − h
-		p.G.MulVec(rz, st.x)
+		rz := ws.rz // rz = Gx + s − h
+		st.gMulVec(rz, st.x)
 		linalg.Add(rz, rz, st.s)
 		rz.AddScaled(-1, p.H)
 
@@ -268,7 +419,8 @@ func (st *state) run() (*Solution, error) {
 		hzby := linalg.Dot(p.H, st.z) + linalg.Dot(p.B, st.y)
 		if hzby < 0 {
 			// ‖Gᵀz + Aᵀy‖ relative to the certificate value.
-			gz := rx.Clone()
+			gz := ws.gz
+			gz.CopyFrom(rx)
 			gz.AddScaled(-1, p.C)
 			if linalg.Norm2(gz)/(-hzby) <= st.opt.FeasTol {
 				scaleCert(st.z, -1/hzby)
@@ -278,12 +430,12 @@ func (st *state) run() (*Solution, error) {
 			}
 		}
 		if pcost < 0 {
-			gx := linalg.NewVector(st.m)
-			p.G.MulVec(gx, st.x)
+			gx := ws.gx
+			st.gMulVec(gx, st.x)
 			linalg.Add(gx, gx, st.s)
-			ax := linalg.NewVector(st.pe)
+			ax := ws.ax
 			if st.pe > 0 {
-				p.A.MulVec(ax, st.x)
+				st.aMulVec(ax, st.x)
 			}
 			if math.Max(linalg.Norm2(gx), linalg.Norm2(ax))/(-pcost) <= st.opt.FeasTol {
 				scaleCert(st.x, -1/pcost)
@@ -298,11 +450,13 @@ func (st *state) run() (*Solution, error) {
 		score := math.Max(math.Max(pres, dres), relgap)
 		if score < bestScore {
 			bestScore = score
+			bX, bS, bZ, bY := best.X, best.S, best.Z, best.Y
 			*best = *sol
-			best.X = sol.X.Clone()
-			best.S = sol.S.Clone()
-			best.Z = sol.Z.Clone()
-			best.Y = sol.Y.Clone()
+			best.X, best.S, best.Z, best.Y = bX, bS, bZ, bY
+			best.X.CopyFrom(sol.X)
+			best.S.CopyFrom(sol.S)
+			best.Z.CopyFrom(sol.Z)
+			best.Y.CopyFrom(sol.Y)
 		} else if bestScore < 1e-4 && score > 1e4*bestScore {
 			// Endgame breakdown after convergence effectively finished:
 			// return the best iterate instead of the deteriorated one.
@@ -333,7 +487,8 @@ func (st *state) run() (*Solution, error) {
 		mu := gap / nu
 
 		// Affine (predictor) direction: dc = −λ∘λ, so u = λ\dc = −λ.
-		u := lambda.Clone()
+		u := ws.uaff
+		u.CopyFrom(lambda)
 		u.Scale(-1)
 		_, _, dza, dsa := st.newton(f, w, rx, ry, rz, u)
 
@@ -348,13 +503,13 @@ func (st *state) run() (*Solution, error) {
 
 		// Combined (corrector) direction:
 		// dc = σµe − λ∘λ − (W⁻¹ds_a)∘(W dz_a).
-		wds := linalg.NewVector(st.m)
+		wds := ws.wds
 		w.ApplyInv(wds, dsa)
-		wdz := linalg.NewVector(st.m)
+		wdz := ws.wdz
 		w.Apply(wdz, dza)
-		corr := linalg.NewVector(st.m)
+		corr := ws.corr
 		p.Dims.Product(corr, wds, wdz)
-		dc := linalg.NewVector(st.m)
+		dc := ws.dc
 		p.Dims.Product(dc, lambda, lambda)
 		dc.Scale(-1)
 		dc.AddScaled(-1, corr)
@@ -367,13 +522,17 @@ func (st *state) run() (*Solution, error) {
 			p.Dims.StepToBoundary(st.z, dz)))
 
 		// Take the step, backing off if rounding pushed an iterate onto the
-		// boundary.
+		// boundary. ns/nz double-buffer against st.s/st.z: on acceptance the
+		// slices swap roles, so each try rebuilds the candidate from the
+		// untouched current iterate.
+		ns, nz := ws.ns, ws.nz
 		for tries := 0; ; tries++ {
-			ns := st.s.Clone()
+			ns.CopyFrom(st.s)
 			ns.AddScaled(alpha, ds)
-			nz := st.z.Clone()
+			nz.CopyFrom(st.z)
 			nz.AddScaled(alpha, dz)
 			if p.Dims.Interior(ns) && p.Dims.Interior(nz) {
+				ws.ns, ws.nz = st.s, st.z
 				st.s, st.z = ns, nz
 				st.x.AddScaled(alpha, dx)
 				st.y.AddScaled(alpha, dy)
@@ -390,24 +549,30 @@ func (st *state) run() (*Solution, error) {
 }
 
 // newton solves one Newton system for the given residuals and scaled
-// complementarity term u = λ\dc, returning (dx, dy, dz, ds).
+// complementarity term u = λ\dc, returning (dx, dy, dz, ds). The returned
+// vectors are workspace-owned; they stay valid until the next newton or
+// kktFactor.solve call.
 func (st *state) newton(f *kktFactor, w *cone.Scaling, rx, ry, rz, u linalg.Vector) (dx, dy, dz, ds linalg.Vector) {
-	bx := rx.Clone()
+	ws := &st.ws
+	bx := ws.nbx
+	bx.CopyFrom(rx)
 	bx.Scale(-1)
-	by := ry.Clone()
+	by := ws.nby
+	by.CopyFrom(ry)
 	by.Scale(-1)
 	// bz = −rz − W u.
-	wu := linalg.NewVector(st.m)
+	wu := ws.nwu
 	w.Apply(wu, u)
-	bz := rz.Clone()
+	bz := ws.nbz
+	bz.CopyFrom(rz)
 	bz.Scale(-1)
 	bz.AddScaled(-1, wu)
 	dx, dy, dz = f.solve(bx, by, bz)
 	// ds = W (u − W dz).
-	t := linalg.NewVector(st.m)
+	t := ws.nt
 	w.Apply(t, dz)
 	linalg.Sub(t, u, t)
-	ds = linalg.NewVector(st.m)
+	ds = ws.nds
 	w.Apply(ds, t)
 	return dx, dy, dz, ds
 }
@@ -453,7 +618,7 @@ func (st *state) initPoint() error {
 	// Primal: minimize ‖Gx − h‖ s.t. Ax = b; s = h − Gx, shifted inward.
 	zero := linalg.NewVector(st.n)
 	x, _, ztilde := f.solve(zero, p.B, p.H)
-	st.x = x
+	st.x = x.Clone() // the solve results are workspace-backed
 	st.s = ztilde.Clone()
 	st.s.Scale(-1) // s = h − Gx = −z̃
 	if th := p.Dims.InteriorMargin(st.s); th <= 0 {
@@ -463,8 +628,8 @@ func (st *state) initPoint() error {
 	negc := p.C.Clone()
 	negc.Scale(-1)
 	_, y, z := f.solve(negc, linalg.NewVector(st.pe), linalg.NewVector(st.m))
-	st.y = y
-	st.z = z
+	st.y = y.Clone()
+	st.z = z.Clone()
 	if th := p.Dims.InteriorMargin(st.z); th <= 0 {
 		st.z.AddScaled(1-th, st.e)
 	}
