@@ -17,10 +17,12 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/gen"
+	"repro/internal/linalg"
 	"repro/internal/mrate"
 	"repro/internal/sim"
 	"repro/internal/socp"
 	"repro/internal/srdf"
+	"repro/internal/taskgraph"
 )
 
 // printOnce guards the one-time experiment output per benchmark name.
@@ -179,6 +181,87 @@ func BenchmarkSolverRaw(b *testing.B) {
 		if err != nil || sol.Status != socp.StatusOptimal {
 			b.Fatalf("%v %v", sol.Status, err)
 		}
+	}
+}
+
+// BenchmarkFactorizeSparseVsDense isolates one full factorize-and-solve cycle
+// on the normal-equations matrix H = GᵀG of real model instances: the paper's
+// T1 program and bbgen chains at 4× and 16× its size. Each op performs what
+// the IPM does per solve — allocate the factor storage, assemble H, factorize
+// with static regularization, and run one refined solve — so the per-op time
+// and allocated bytes compare the dense O(n³)/O(n²) path against the sparse
+// symbolic + numeric pipeline end to end.
+func BenchmarkFactorizeSparseVsDense(b *testing.B) {
+	for _, inst := range []struct {
+		name string
+		cfg  *taskgraph.Config
+	}{
+		{"paper", gen.PaperT1(10)},
+		{"chain4x", gen.Chain(gen.ChainOptions{Tasks: 8})},
+		{"chain16x", gen.Chain(gen.ChainOptions{Tasks: 32})},
+	} {
+		p, err := core.BuildProblem(inst.cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := p.G.Cols
+		gsp := linalg.NewSparseFromDense(p.G)
+		rhs := linalg.NewVector(n)
+		for i := range rhs {
+			rhs[i] = 1 + float64(i%7)
+		}
+		hd := linalg.NewMatrix(n, n)
+		p.G.AtAInto(hd)
+		reg := 1e-13 * (1 + hd.NormInf())
+		b.Run(fmt.Sprintf("%s/n=%d/dense", inst.name, n), func(b *testing.B) {
+			b.ReportAllocs()
+			x := linalg.NewVector(n)
+			for i := 0; i < b.N; i++ {
+				h := linalg.NewMatrix(n, n)
+				p.G.AtAInto(h)
+				hreg := linalg.NewMatrix(n, n)
+				copy(hreg.Data, h.Data)
+				for j := 0; j < n; j++ {
+					hreg.Add(j, j, reg)
+				}
+				chol := linalg.NewCholeskyWorkspace(n)
+				if err := chol.Factorize(hreg, reg); err != nil {
+					b.Fatal(err)
+				}
+				chol.SolveRefined(h, rhs, x)
+			}
+		})
+		b.Run(fmt.Sprintf("%s/n=%d/sparse", inst.name, n), func(b *testing.B) {
+			b.ReportAllocs()
+			x := linalg.NewVector(n)
+			for i := 0; i < b.N; i++ {
+				ata := linalg.NewSparseAtA(gsp)
+				ata.Compute(gsp)
+				chol := linalg.NewSparseCholesky(ata.Result, nil)
+				if err := chol.Factorize(ata.Result, reg, reg); err != nil {
+					b.Fatal(err)
+				}
+				chol.SolveRefined(ata.Result, rhs, x)
+			}
+		})
+		// The numeric-only variant is what the solver pays per IPM iteration
+		// once the symbolic analysis is amortized: refill H on its fixed
+		// pattern, refactorize into the preallocated workspaces, solve.
+		b.Run(fmt.Sprintf("%s/n=%d/sparse-refactor", inst.name, n), func(b *testing.B) {
+			ata := linalg.NewSparseAtA(gsp)
+			ata.Compute(gsp)
+			chol := linalg.NewSparseCholesky(ata.Result, nil)
+			x := linalg.NewVector(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ata.Compute(gsp)
+				if err := chol.Factorize(ata.Result, reg, reg); err != nil {
+					b.Fatal(err)
+				}
+				chol.SolveRefined(ata.Result, rhs, x)
+			}
+		})
 	}
 }
 

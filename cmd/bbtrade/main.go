@@ -5,7 +5,8 @@
 // Usage:
 //
 //	bbtrade -experiment fig2a|fig2b|fig3|runtime|scalability|compare|ablation|pareto|all
-//	        [-csv] [-parallel N]
+//	        [-csv] [-parallel N] [-factor auto|sparse|dense|densekkt]
+//	        [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
@@ -13,10 +14,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/gen"
+	"repro/internal/socp"
 	"repro/internal/textplot"
 )
 
@@ -33,11 +37,60 @@ func run(args []string, stdout, stderr io.Writer) int {
 		csv      = fs.Bool("csv", false, "emit CSV instead of tables/plots")
 		parallel = fs.Int("parallel", 0,
 			"worker pool size for sweep experiments (0 = GOMAXPROCS, 1 = sequential)")
+		factor = fs.String("factor", "auto",
+			"KKT backend: auto | sparse (simplicial LDLT) | dense (sparse assembly, dense factor) | densekkt (all-dense oracle)")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file after the experiments finish")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	opt := core.Options{Parallelism: *parallel}
+	switch *factor {
+	case "auto", "":
+		// default backend selection
+	case "sparse":
+		opt.Solver.Factorization = socp.FactorSparse
+	case "dense":
+		opt.Solver.Factorization = socp.FactorDense
+	case "densekkt":
+		opt.Solver.DenseKKT = true
+	default:
+		fmt.Fprintf(stderr, "bbtrade: unknown -factor %q (want auto, sparse, dense, or densekkt)\n", *factor)
+		return 2
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(stderr, "bbtrade:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(stderr, "bbtrade:", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		// Deferred so the profile reflects the heap after the experiments, and
+		// is written on every exit path out of run.
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(stderr, "bbtrade:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "bbtrade:", err)
+			}
+		}()
+	}
 
 	runOne := func(name string) int {
 		switch name {

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -87,5 +89,51 @@ func TestTradeUnknownExperiment(t *testing.T) {
 	}
 	if !strings.Contains(errb.String(), "unknown experiment") {
 		t.Fatal("missing error")
+	}
+}
+
+// TestTradeFactorBackends runs the same experiment under every -factor
+// backend; all four must succeed and produce the same reproduced figures (the
+// backends agree far beyond the 4-digit table precision).
+func TestTradeFactorBackends(t *testing.T) {
+	var want string
+	for _, factor := range []string{"auto", "sparse", "dense", "densekkt"} {
+		var out, errb bytes.Buffer
+		if code := run([]string{"-experiment", "fig2a", "-csv", "-factor", factor}, &out, &errb); code != 0 {
+			t.Fatalf("factor %s: exit %d: %s", factor, code, errb.String())
+		}
+		if want == "" {
+			want = out.String()
+		} else if out.String() != want {
+			t.Fatalf("factor %s output differs:\n%s\nwant:\n%s", factor, out.String(), want)
+		}
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-experiment", "fig2a", "-factor", "bogus"}, &out, &errb); code != 2 {
+		t.Fatalf("bogus factor: exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown -factor") {
+		t.Fatal("missing -factor error")
+	}
+}
+
+// TestTradeProfiles exercises the -cpuprofile/-memprofile flags and checks
+// that both profile files come out non-empty.
+func TestTradeProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-experiment", "runtime", "-cpuprofile", cpu, "-memprofile", mem}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
 	}
 }

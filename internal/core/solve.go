@@ -13,6 +13,18 @@ import (
 // relaxed value of 4.0000000003 rounds to 4 granules rather than 5.
 const roundTol = 1e-6
 
+// BuildProblem translates a configuration into its Algorithm 1 cone program
+// without solving it. It is exposed for benchmarks and diagnostics that need
+// the raw SOCP — e.g. pitting factorization backends against each other on
+// paper-sized KKT systems.
+func BuildProblem(c *taskgraph.Config) (*socp.Problem, error) {
+	m, err := buildModel(c, nil)
+	if err != nil {
+		return nil, err
+	}
+	return m.b.Build()
+}
+
 // Solve computes budgets and buffer capacities for every task graph in the
 // configuration simultaneously (Algorithm 1) and verifies the result.
 func Solve(c *taskgraph.Config, opt Options) (*Result, error) {

@@ -82,15 +82,22 @@ func TestParetoFrontierParallelDeterminism(t *testing.T) {
 }
 
 // TestSolveSparseMatchesDenseOracleCore: end-to-end property test on the gen
-// instances — the default sparse KKT pipeline and the dense oracle must agree
-// on the relaxed optimum and the continuous variables to 1e-6.
+// instances — the default pipeline (sparse assembly + sparse simplicial
+// factorization) and the dense oracle must agree on the relaxed optimum and
+// the continuous variables to 1e-6. Iteration counts are not compared: the
+// sparse factor eliminates in AMD order, so its iterates round differently
+// from the dense factorization and the paths may converge in different
+// iteration counts while agreeing on the answer.
 func TestSolveSparseMatchesDenseOracleCore(t *testing.T) {
 	for _, tc := range []struct {
 		name string
 		cfg  *taskgraph.Config
 	}{
 		{"T1", gen.PaperT1(3)},
+		{"T1slack1", gen.PaperT1(1)},
+		{"T1slack10", gen.PaperT1(10)},
 		{"T2", gen.PaperT2(5)},
+		{"T2slack10", gen.PaperT2(10)},
 		{"chain", gen.Chain(gen.ChainOptions{Tasks: 5})},
 		{"random17", gen.RandomJobs(gen.RandomOptions{Seed: 17})},
 		{"random99", gen.RandomJobs(gen.RandomOptions{Seed: 99})},
@@ -123,9 +130,6 @@ func TestSolveSparseMatchesDenseOracleCore(t *testing.T) {
 				if d := abs(sp.ContinuousDeltas[k] - v); d > 1e-6*(1+abs(v)) {
 					t.Fatalf("delta %s differs by %g", k, d)
 				}
-			}
-			if sp.SolverIterations != de.SolverIterations {
-				t.Fatalf("iterations diverge: sparse %d, dense %d", sp.SolverIterations, de.SolverIterations)
 			}
 		})
 	}

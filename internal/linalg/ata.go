@@ -1,0 +1,115 @@
+package linalg
+
+import "sort"
+
+// SparseAtA recomputes H = AᵀA in sparse form for a matrix A whose sparsity
+// pattern is fixed while its values change — the normal-equations assembly
+// of the interior-point hot loop, where A is the NT-scaled constraint matrix
+// W⁻¹G with an iteration-invariant pattern.
+//
+// The symbolic work — H's pattern and a flat scatter plan mapping every
+// within-row entry pair of A to its target positions in H — is done once at
+// construction. Compute then refills the values in O(Σᵢ nnz(rowᵢ)²) with no
+// allocations and no index searches.
+type SparseAtA struct {
+	// Result is the Cols×Cols product AᵀA in full symmetric CSR form. Its
+	// pattern is fixed at construction; Compute rewrites the values.
+	Result *SparseMatrix
+
+	// Scatter plan: contribution t adds Val[ka[t]]·Val[kb[t]] of A at
+	// position dst[t] of Result.Val and, when off-diagonal, mirrors it at
+	// mir[t] (mir == dst on the diagonal).
+	ka, kb []int
+	dst    []int
+	mir    []int
+	nnzA   int
+}
+
+// NewSparseAtA analyzes the pattern of a and builds the scatter plan. Every
+// matrix later passed to Compute must carry this exact pattern.
+func NewSparseAtA(a *SparseMatrix) *SparseAtA {
+	n := a.Cols
+	// CSC-style row lists: which rows of A touch each column.
+	colPtr := make([]int, n+1)
+	for _, j := range a.ColIdx {
+		colPtr[j+1]++
+	}
+	for j := 0; j < n; j++ {
+		colPtr[j+1] += colPtr[j]
+	}
+	colRows := make([]int, len(a.ColIdx))
+	next := append([]int(nil), colPtr[:n]...)
+	for i := 0; i < a.Rows; i++ {
+		for t := a.RowPtr[i]; t < a.RowPtr[i+1]; t++ {
+			j := a.ColIdx[t]
+			colRows[next[j]] = i
+			next[j]++
+		}
+	}
+	// Pattern of H: row j is the union of the patterns of A's rows that
+	// contain column j.
+	pattern := make([][]int, n)
+	mark := make([]int, n)
+	for i := range mark {
+		mark[i] = -1
+	}
+	for j := 0; j < n; j++ {
+		var cols []int
+		for t := colPtr[j]; t < colPtr[j+1]; t++ {
+			r := colRows[t]
+			for u := a.RowPtr[r]; u < a.RowPtr[r+1]; u++ {
+				if cc := a.ColIdx[u]; mark[cc] != j {
+					mark[cc] = j
+					cols = append(cols, cc)
+				}
+			}
+		}
+		sort.Ints(cols)
+		pattern[j] = cols
+	}
+	p := &SparseAtA{Result: NewSparseFromPattern(n, n, pattern), nnzA: a.NNZ()}
+	// One plan entry per unordered within-row pair.
+	plan := 0
+	for r := 0; r < a.Rows; r++ {
+		w := a.RowPtr[r+1] - a.RowPtr[r]
+		plan += w * (w + 1) / 2
+	}
+	p.ka = make([]int, 0, plan)
+	p.kb = make([]int, 0, plan)
+	p.dst = make([]int, 0, plan)
+	p.mir = make([]int, 0, plan)
+	for r := 0; r < a.Rows; r++ {
+		lo, hi := a.RowPtr[r], a.RowPtr[r+1]
+		for x := lo; x < hi; x++ {
+			i := a.ColIdx[x]
+			for z := x; z < hi; z++ {
+				j := a.ColIdx[z]
+				p.ka = append(p.ka, x)
+				p.kb = append(p.kb, z)
+				p.dst = append(p.dst, p.Result.Index(i, j))
+				p.mir = append(p.mir, p.Result.Index(j, i))
+			}
+		}
+	}
+	return p
+}
+
+// Compute rewrites Result's values as AᵀA for the current values of a,
+// which must have the pattern given at construction.
+func (p *SparseAtA) Compute(a *SparseMatrix) {
+	if a.NNZ() != p.nnzA {
+		panic("linalg: SparseAtA.Compute pattern differs from the analyzed one")
+	}
+	val := p.Result.Val
+	for i := range val {
+		val[i] = 0
+	}
+	av := a.Val
+	for t, d := range p.dst {
+		v := av[p.ka[t]] * av[p.kb[t]]
+		val[d] += v
+		if m := p.mir[t]; m != d {
+			val[m] += v
+		}
+	}
+}

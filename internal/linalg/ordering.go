@@ -1,0 +1,145 @@
+package linalg
+
+import "sort"
+
+// AMDOrder computes a fill-reducing elimination ordering for the symmetric
+// sparsity pattern of a: perm[k] is the original index of the k-th pivot.
+//
+// The algorithm is a quotient-graph minimum-degree heuristic of the
+// approximate-minimum-degree (AMD) family: eliminated pivots become
+// *elements* (cliques represented by their member list instead of explicit
+// fill edges), elements adjacent to a pivot are absorbed into the new one,
+// and node degrees are maintained as the cheap upper bound
+//
+//	d(i) ≈ |plain neighbors| + Σ_{e ∋ i} (|members(e)| − 1),
+//
+// which overcounts shared members but never undercounts the true degree.
+// Plain-neighbor lists are pruned of nodes covered by a freshly created
+// element, which keeps the quotient graph within O(nnz) storage instead of
+// materializing fill.
+//
+// The pattern of a ∪ aᵀ is used and the diagonal is ignored, so a does not
+// have to be structurally symmetric. The returned ordering is deterministic:
+// ties are broken toward the lowest node index.
+func AMDOrder(a *SparseMatrix) []int {
+	if a.Rows != a.Cols {
+		panic("linalg: AMDOrder needs a square matrix")
+	}
+	n := a.Rows
+	// Symmetrized, deduplicated adjacency without the diagonal.
+	adj := make([][]int, n)
+	deg := make([]int, n)
+	for i := 0; i < n; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if j := a.ColIdx[k]; j != i {
+				deg[i]++
+				deg[j]++
+			}
+		}
+	}
+	for i := range adj {
+		adj[i] = make([]int, 0, deg[i])
+	}
+	for i := 0; i < n; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if j := a.ColIdx[k]; j != i {
+				adj[i] = append(adj[i], j)
+				adj[j] = append(adj[j], i)
+			}
+		}
+	}
+	for i := range adj {
+		sort.Ints(adj[i])
+		adj[i] = dedupSorted(adj[i])
+	}
+
+	perm := make([]int, 0, n)
+	elems := make([][]int, n)     // element ids adjacent to each node
+	elemNodes := make([][]int, n) // alive members of the element created at node p's elimination
+	alive := make([]bool, n)
+	elemAlive := make([]bool, n)
+	degree := make([]int, n)
+	mark := make([]int, n)
+	for i := 0; i < n; i++ {
+		alive[i] = true
+		degree[i] = len(adj[i])
+		mark[i] = -1
+	}
+	stamp := 0
+	le := make([]int, 0, n)
+	for len(perm) < n {
+		// Pivot: the alive node with minimum approximate degree.
+		p, best := -1, n+1
+		for i := 0; i < n; i++ {
+			if alive[i] && degree[i] < best {
+				p, best = i, degree[i]
+			}
+		}
+		// Member list of the new element: alive plain neighbors plus the
+		// members of every adjacent element (which are thereby absorbed).
+		stamp++
+		mark[p] = stamp
+		le = le[:0]
+		for _, u := range adj[p] {
+			if alive[u] && mark[u] != stamp {
+				mark[u] = stamp
+				le = append(le, u)
+			}
+		}
+		for _, e := range elems[p] {
+			for _, u := range elemNodes[e] {
+				if alive[u] && u != p && mark[u] != stamp {
+					mark[u] = stamp
+					le = append(le, u)
+				}
+			}
+			elemAlive[e] = false
+			elemNodes[e] = nil
+		}
+		sort.Ints(le)
+		alive[p] = false
+		perm = append(perm, p)
+		elemNodes[p] = append([]int(nil), le...)
+		elemAlive[p] = true
+		adj[p], elems[p] = nil, nil
+		// Update every member: prune neighbors now covered by the new
+		// element, drop absorbed elements, recompute the degree bound.
+		for _, i := range elemNodes[p] {
+			w := adj[i][:0]
+			for _, u := range adj[i] {
+				if alive[u] && mark[u] != stamp {
+					w = append(w, u)
+				}
+			}
+			adj[i] = w
+			we := elems[i][:0]
+			for _, e := range elems[i] {
+				if elemAlive[e] {
+					we = append(we, e)
+				}
+			}
+			elems[i] = append(we, p)
+			d := len(adj[i])
+			for _, e := range elems[i] {
+				d += len(elemNodes[e]) - 1
+			}
+			if d > n-1 {
+				d = n - 1
+			}
+			degree[i] = d
+		}
+	}
+	return perm
+}
+
+// dedupSorted removes consecutive duplicates from a sorted slice in place.
+func dedupSorted(s []int) []int {
+	w := 0
+	for i, v := range s {
+		if i == 0 || v != s[w-1] {
+			s[w] = v
+			w++
+		}
+	}
+	return s[:w]
+}

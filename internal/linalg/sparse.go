@@ -1,6 +1,9 @@
 package linalg
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // SparseMatrix is a compressed-sparse-row (CSR) matrix. Row i's entries are
 // ColIdx[RowPtr[i]:RowPtr[i+1]] (column indices, strictly increasing) and
@@ -66,15 +69,41 @@ func NewSparseFromPattern(rows, cols int, pattern [][]int) *SparseMatrix {
 // NNZ returns the number of stored entries.
 func (s *SparseMatrix) NNZ() int { return len(s.ColIdx) }
 
-// At returns entry (i, j), 0 when it is not stored. It is a linear scan of
-// row i and intended for tests and diagnostics, not hot loops.
+// At returns entry (i, j), 0 when it is not stored. Rows keep their column
+// indices sorted, so the lookup is a binary search of row i.
 func (s *SparseMatrix) At(i, j int) float64 {
-	for k := s.RowPtr[i]; k < s.RowPtr[i+1]; k++ {
-		if s.ColIdx[k] == j {
-			return s.Val[k]
-		}
+	if k := s.Index(i, j); k >= 0 {
+		return s.Val[k]
 	}
 	return 0
+}
+
+// Index returns the storage position of entry (i, j) in ColIdx/Val, or −1
+// when the entry is not stored. Rows keep their column indices strictly
+// increasing, so this is a binary search of row i.
+func (s *SparseMatrix) Index(i, j int) int {
+	lo, hi := s.RowPtr[i], s.RowPtr[i+1]
+	row := s.ColIdx[lo:hi]
+	k := sort.SearchInts(row, j)
+	if k < len(row) && row[k] == j {
+		return lo + k
+	}
+	return -1
+}
+
+// NormInf returns the maximum absolute stored value (entries outside the
+// pattern are zero, so this equals the dense max-absolute-entry norm).
+func (s *SparseMatrix) NormInf() float64 {
+	var m float64
+	for _, v := range s.Val {
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	return m
 }
 
 // ToDense expands the matrix into dense row-major form.

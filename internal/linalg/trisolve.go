@@ -1,0 +1,61 @@
+package linalg
+
+// Solve solves A x = b in place against the current numeric factorization:
+// the right-hand side is permuted, run through the unit-lower forward solve,
+// the diagonal scaling, and the transposed backward solve, then permuted
+// back. Only the stored nonzeros of L are visited, so a solve costs
+// O(n + nnz(L)).
+func (c *SparseCholesky) Solve(b Vector) {
+	if len(b) != c.n {
+		panic("linalg: SparseCholesky.Solve dimension mismatch")
+	}
+	n, w := c.n, c.w
+	for k := 0; k < n; k++ {
+		w[k] = b[c.perm[k]]
+	}
+	// L w = w: column-oriented forward substitution. When column k is
+	// reached every update from columns < k has been applied, so w[k] is
+	// final and scatters into the rows below.
+	for k := 0; k < n; k++ {
+		if wk := w[k]; wk != 0 {
+			for p := c.lp[k]; p < c.lp[k+1]; p++ {
+				w[c.li[p]] -= c.lx[p] * wk
+			}
+		}
+	}
+	// D w = w.
+	for k := 0; k < n; k++ {
+		w[k] /= c.d[k]
+	}
+	// Lᵀ w = w: the transposed solve gathers from the rows below, walking
+	// the columns backwards.
+	for k := n - 1; k >= 0; k-- {
+		wk := w[k]
+		for p := c.lp[k]; p < c.lp[k+1]; p++ {
+			wk -= c.lx[p] * w[c.li[p]]
+		}
+		w[k] = wk
+	}
+	for k := 0; k < n; k++ {
+		b[c.perm[k]] = w[k]
+	}
+}
+
+// SolveRefined solves A x = b with one step of iterative refinement against
+// the matrix a — normally the unshifted original, so the refinement also
+// sweeps out the error introduced by diagonal regularization. The solution
+// is written into x; b is not modified.
+func (c *SparseCholesky) SolveRefined(a *SparseMatrix, b, x Vector) {
+	if len(x) != c.n || len(b) != c.n {
+		panic("linalg: SparseCholesky.SolveRefined dimension mismatch")
+	}
+	x.CopyFrom(b)
+	c.Solve(x)
+	r := c.scratch
+	a.MulVec(r, x)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	c.Solve(r)
+	x.AddScaled(1, r)
+}

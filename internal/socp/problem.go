@@ -149,11 +149,48 @@ type Options struct {
 	// DenseKKT disables the sparse normal-equations fast path and assembles
 	// Gᵀ W⁻² G from a dense copy of G every iteration, as the solver did
 	// before the sparse path existed. The dense path is the correctness
-	// oracle the sparse path is tested against — both produce identical
-	// iterates; the dense one is only slower.
+	// oracle the sparse path is tested against; it always factorizes
+	// densely, regardless of Factorization.
 	DenseKKT bool
+	// Factorization selects the factorization backend used with the sparse
+	// assembly path. FactorAuto and FactorSparse run the sparse simplicial
+	// LDLᵀ pipeline (fill-reducing AMD ordering, elimination tree, and
+	// symbolic factorization computed once per problem; numeric
+	// refactorization per iteration). FactorDense keeps the sparse assembly
+	// but hands the dense normal-equations matrix to the dense
+	// Cholesky/LDLᵀ — the configuration before the sparse factor existed,
+	// kept for isolating assembly effects from factorization effects.
+	Factorization Factorization
 	// Trace enables per-iteration progress output on stdout (debugging).
 	Trace bool
+}
+
+// Factorization selects the KKT factorization backend; see
+// Options.Factorization.
+type Factorization int
+
+const (
+	// FactorAuto picks the fastest correct backend: currently the sparse
+	// simplicial factorization whenever the sparse assembly path is active.
+	FactorAuto Factorization = iota
+	// FactorSparse forces the sparse simplicial factorization.
+	FactorSparse
+	// FactorDense forces the dense Cholesky/LDLᵀ factorization.
+	FactorDense
+)
+
+// String implements fmt.Stringer.
+func (f Factorization) String() string {
+	switch f {
+	case FactorAuto:
+		return "auto"
+	case FactorSparse:
+		return "sparse"
+	case FactorDense:
+		return "dense"
+	default:
+		return fmt.Sprintf("Factorization(%d)", int(f))
+	}
 }
 
 func (o Options) withDefaults() Options {

@@ -79,15 +79,26 @@ type workspace struct {
 }
 
 // initWorkspace allocates the per-solve buffers once; the iteration loop
-// reuses them instead of calling NewMatrix/Clone each pass.
+// reuses them instead of calling NewMatrix/Clone each pass. With the sparse
+// factorization backend the dense factor storage (n² and larger) is never
+// allocated: the sparse pipeline owns pattern-sized buffers instead.
 func (st *state) initWorkspace() {
 	n, m, pe := st.n, st.m, st.pe
 	ws := &st.ws
-	ws.hmat = linalg.NewMatrix(n, n)
-	if pe == 0 {
+	if !st.opt.DenseKKT {
+		st.sv = st.p.sparse()
+	}
+	if st.sparseFactor() {
+		if pe > 0 {
+			ws.full = linalg.NewVector(n + pe)
+			ws.fsol = linalg.NewVector(n + pe)
+		}
+	} else if pe == 0 {
+		ws.hmat = linalg.NewMatrix(n, n)
 		ws.hreg = linalg.NewMatrix(n, n)
 		ws.chol = linalg.NewCholeskyWorkspace(n)
 	} else {
+		ws.hmat = linalg.NewMatrix(n, n)
 		ws.kkt = linalg.NewMatrix(n+pe, n+pe)
 		ws.ldlt = linalg.NewLDLTWorkspace(n + pe)
 		ws.full = linalg.NewVector(n + pe)
@@ -121,9 +132,13 @@ func (st *state) initWorkspace() {
 	ws.dc = linalg.NewVector(m)
 	ws.ns = linalg.NewVector(m)
 	ws.nz = linalg.NewVector(m)
-	if !st.opt.DenseKKT {
-		st.sv = st.p.sparse()
-	}
+}
+
+// sparseFactor reports whether the sparse simplicial factorization backend
+// is active: sparse assembly must be on (no DenseKKT) and the factorization
+// choice must not force the dense factor.
+func (st *state) sparseFactor() bool {
+	return !st.opt.DenseKKT && st.opt.Factorization != FactorDense
 }
 
 // Sparse-aware mat-vec dispatch: the CSR view when the sparse path is
@@ -194,6 +209,12 @@ type kktFactor struct {
 	chol *linalg.Cholesky
 	kkt  *linalg.Matrix // assembled [[H,Aᵀ],[A,0]] when pe > 0
 	ldlt *linalg.LDLT
+
+	// Sparse backend: schol is the simplicial LDLᵀ of hs, which is the
+	// sparse H (pe == 0, unregularized — refinement sweeps the shift out)
+	// or the sparse reduced KKT matrix (pe > 0). nil on the dense backend.
+	schol *linalg.SparseCholesky
+	hs    *linalg.SparseMatrix
 }
 
 func (st *state) factor(w *cone.Scaling) (*kktFactor, error) {
@@ -207,9 +228,13 @@ func (st *state) factor(w *cone.Scaling) (*kktFactor, error) {
 		}
 		gs.AtAInto(ws.hmat)
 	} else {
-		// Sparse fast path: rewrite the values of the fixed W⁻¹G pattern and
-		// assemble H touching structural nonzeros only.
+		// Sparse fast path: rewrite the values of the fixed W⁻¹G pattern,
+		// then either run the fully sparse factorization pipeline or fall
+		// back to sparse assembly into the dense factor (FactorDense).
 		st.sv.fillScaled(w)
+		if st.sparseFactor() {
+			return st.factorSparse(f)
+		}
 		st.sv.gs.AtAInto(ws.hmat)
 	}
 	reg := st.opt.KKTReg * (1 + ws.hmat.NormInf())
@@ -246,6 +271,32 @@ func (st *state) factor(w *cone.Scaling) (*kktFactor, error) {
 	}
 	f.kkt = k
 	f.ldlt = ws.ldlt
+	return f, nil
+}
+
+// factorSparse runs the sparse simplicial pipeline: refill H = (W⁻¹G)ᵀ(W⁻¹G)
+// on its fixed pattern and refactorize numerically against the symbolic
+// structure computed on first use. pe == 0 factorizes H directly with a
+// static diagonal shift; pe > 0 factorizes the quasi-definite reduced KKT
+// matrix with the ±reg diagonal floor, matching the dense backend's
+// regularization semantics.
+func (st *state) factorSparse(f *kktFactor) (*kktFactor, error) {
+	ne := st.sv.normalEq()
+	ne.ata.Compute(st.sv.gs)
+	h := ne.ata.Result
+	reg := st.opt.KKTReg * (1 + h.NormInf())
+	if st.pe == 0 {
+		if err := ne.chol.Factorize(h, reg, reg); err != nil {
+			return nil, err
+		}
+		f.schol, f.hs = ne.chol, h
+		return f, nil
+	}
+	ne.fillKKT(reg)
+	if err := ne.chol.FactorizeQuasiDef(ne.kkt, reg); err != nil {
+		return nil, err
+	}
+	f.schol, f.hs = ne.chol, ne.kkt
 	return f, nil
 }
 
@@ -327,13 +378,21 @@ func (f *kktFactor) solveOnce(bx, by, bz, dx, dy, dz linalg.Vector) {
 	rhs.CopyFrom(bx)
 	st.gMulVecTAdd(rhs, 1, t)
 	if st.pe == 0 {
-		f.chol.SolveRefined(f.hmat, rhs, dx)
+		if f.schol != nil {
+			f.schol.SolveRefined(f.hs, rhs, dx)
+		} else {
+			f.chol.SolveRefined(f.hmat, rhs, dx)
+		}
 	} else {
 		full := ws.full
 		copy(full[:st.n], rhs)
 		copy(full[st.n:], by)
 		sol := ws.fsol
-		f.ldlt.SolveRefined(f.kkt, full, sol)
+		if f.schol != nil {
+			f.schol.SolveRefined(f.hs, full, sol)
+		} else {
+			f.ldlt.SolveRefined(f.kkt, full, sol)
+		}
 		copy(dx, sol[:st.n])
 		copy(dy, sol[st.n:])
 	}

@@ -30,6 +30,11 @@ type sparseView struct {
 	socs []socBlockView
 
 	colBuf, outBuf linalg.Vector // gather/scatter scratch, len = max block size
+
+	// ne is the sparse factorization pipeline (normal equations or reduced
+	// KKT), built lazily on the first sparse-backend factor call because its
+	// symbolic analysis only depends on the fixed gs pattern.
+	ne *neFactor
 }
 
 // socBlockView is the fixed structural data of one SOC block of G.

@@ -1,0 +1,129 @@
+package socp
+
+import (
+	"sort"
+
+	"repro/internal/linalg"
+)
+
+// neFactor is the sparse factorization pipeline of one solve. The symbolic
+// work — the AᵀA scatter plan for H = (W⁻¹G)ᵀ(W⁻¹G), the fill-reducing AMD
+// ordering, the elimination tree, and the symbolic factorization — is done
+// once per problem, because the scaled-G pattern the sparse view fixes makes
+// H's pattern iteration-invariant. Each interior-point iteration then only
+// refills numeric values and runs the numeric refactorization, dropping the
+// per-iteration factor cost from the dense O(n³) to O(nnz(L)·row-width).
+type neFactor struct {
+	ata  *linalg.SparseAtA      // H on its fixed pattern
+	chol *linalg.SparseCholesky // factor of H (pe == 0) or of the reduced KKT (pe > 0)
+
+	// pe > 0: the quasi-definite reduced KKT matrix [[H+regI, Aᵀ], [A, −regI]]
+	// on a fixed pattern. The A blocks are written once at construction;
+	// fillKKT refreshes the H block and the regularized diagonal.
+	kkt     *linalg.SparseMatrix
+	hDst    []int  // kkt.Val position of each H entry
+	diag    []int  // kkt.Val position of each diagonal entry, len n+pe
+	diagInH []bool // whether diagonal i < n is part of H's pattern
+	pe      int
+}
+
+// newNEFactor runs the symbolic analysis for the sparse view's fixed
+// pattern. a is the problem's equality-constraint matrix in CSR form (nil
+// without equalities).
+func newNEFactor(sv *sparseView, a *linalg.SparseMatrix) *neFactor {
+	f := &neFactor{ata: linalg.NewSparseAtA(sv.gs)}
+	h := f.ata.Result
+	if a == nil {
+		f.chol = linalg.NewSparseCholesky(h, nil)
+		return f
+	}
+	n, pe := h.Rows, a.Rows
+	f.pe = pe
+	// Fixed pattern of the reduced KKT matrix, with an explicit diagonal
+	// everywhere so the ±reg regularization always has a slot.
+	atCols := make([][]int, n)
+	for e := 0; e < pe; e++ {
+		for t := a.RowPtr[e]; t < a.RowPtr[e+1]; t++ {
+			j := a.ColIdx[t]
+			atCols[j] = append(atCols[j], n+e)
+		}
+	}
+	pattern := make([][]int, n+pe)
+	for i := 0; i < n; i++ {
+		hrow := h.ColIdx[h.RowPtr[i]:h.RowPtr[i+1]]
+		cols := make([]int, 0, len(hrow)+len(atCols[i])+1)
+		cols = append(cols, hrow...)
+		if h.Index(i, i) < 0 {
+			k := sort.SearchInts(cols, i)
+			cols = append(cols, 0)
+			copy(cols[k+1:], cols[k:])
+			cols[k] = i
+		}
+		cols = append(cols, atCols[i]...) // A-block columns are ≥ n and ascending
+		pattern[i] = cols
+	}
+	for e := 0; e < pe; e++ {
+		arow := a.ColIdx[a.RowPtr[e]:a.RowPtr[e+1]]
+		cols := make([]int, 0, len(arow)+1)
+		cols = append(cols, arow...)
+		cols = append(cols, n+e)
+		pattern[n+e] = cols
+	}
+	f.kkt = linalg.NewSparseFromPattern(n+pe, n+pe, pattern)
+	// Static A blocks.
+	for e := 0; e < pe; e++ {
+		for t := a.RowPtr[e]; t < a.RowPtr[e+1]; t++ {
+			j := a.ColIdx[t]
+			f.kkt.Val[f.kkt.Index(n+e, j)] = a.Val[t]
+			f.kkt.Val[f.kkt.Index(j, n+e)] = a.Val[t]
+		}
+	}
+	// Scatter map for the H block and the diagonal slots.
+	f.hDst = make([]int, h.NNZ())
+	for i := 0; i < n; i++ {
+		for t := h.RowPtr[i]; t < h.RowPtr[i+1]; t++ {
+			f.hDst[t] = f.kkt.Index(i, h.ColIdx[t])
+		}
+	}
+	f.diag = make([]int, n+pe)
+	for i := 0; i < n+pe; i++ {
+		f.diag[i] = f.kkt.Index(i, i)
+	}
+	f.diagInH = make([]bool, n)
+	for i := 0; i < n; i++ {
+		f.diagInH[i] = h.Index(i, i) >= 0
+	}
+	f.chol = linalg.NewSparseCholesky(f.kkt, nil)
+	return f
+}
+
+// fillKKT refreshes the reduced KKT values for the current H and the given
+// static regularization: the H block is copied through the scatter map and
+// the diagonal becomes H(i,i)+reg on the variable block and −reg on the
+// equality block.
+func (f *neFactor) fillKKT(reg float64) {
+	hv := f.ata.Result.Val
+	kv := f.kkt.Val
+	for t, d := range f.hDst {
+		kv[d] = hv[t]
+	}
+	n := f.ata.Result.Rows
+	for i := 0; i < n; i++ {
+		if !f.diagInH[i] {
+			kv[f.diag[i]] = 0
+		}
+		kv[f.diag[i]] += reg
+	}
+	for e := 0; e < f.pe; e++ {
+		kv[f.diag[n+e]] = -reg
+	}
+}
+
+// normalEq returns the sparse factorization pipeline of the view, running
+// the symbolic analysis on first use.
+func (sv *sparseView) normalEq() *neFactor {
+	if sv.ne == nil {
+		sv.ne = newNEFactor(sv, sv.a)
+	}
+	return sv.ne
+}
