@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestListAnalyzers(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("bbvet -list exited %d: %s", code, errOut.String())
+	}
+	for _, name := range []string{"floatcmp", "maprange", "hotalloc", "statuscheck", "csralias"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzerIsUsageError(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-analyzers", "bogus", "."}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown analyzer exited %d, want 2", code)
+	}
+}
+
+// TestFixtureFindingsExitNonZero drives the real CLI path against a
+// fixture package with known findings: exit status 1 and canonical
+// file:line:col: analyzer: message lines.
+func TestFixtureFindingsExitNonZero(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"../../testdata/analysis/floatcmp"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("bbvet on the floatcmp fixture exited %d, want 1 (stderr: %s)", code, errOut.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "floatcmp.go:") || !strings.Contains(text, ": floatcmp: ") {
+		t.Errorf("diagnostics not in file:line:col: analyzer: message form:\n%s", text)
+	}
+	// The fixture has exactly three positives; its two bbvet:allow'd
+	// comparisons must not leak into the output.
+	if n := strings.Count(text, ": floatcmp: "); n != 3 {
+		t.Errorf("got %d diagnostics, want 3 (suppression broken?):\n%s", n, text)
+	}
+}
+
+// TestRepositoryExitsZero is the driver-level twin of the analysis
+// package's self-run test: the shipped tree is clean, so the CLI must exit
+// 0 over the whole module.
+func TestRepositoryExitsZero(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"../../..."}, &out, &errOut); code != 0 {
+		t.Fatalf("bbvet on the repository exited %d:\n%s%s", code, out.String(), errOut.String())
+	}
+}

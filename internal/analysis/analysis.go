@@ -1,0 +1,242 @@
+// Package analysis is a small, stdlib-only static-analysis framework plus
+// the repository's analyzer suite. It exists because three properties of
+// this codebase are load-bearing and easy to regress silently:
+//
+//   - numeric discipline: the SRDF/SOCP pipeline is only sound under
+//     conservative floating-point comparison (tolerance helpers, never raw
+//     ==/!= except against exact-zero sentinels);
+//   - determinism: sweep and experiment results must not depend on Go's
+//     randomized map iteration order;
+//   - zero-alloc hot paths: the per-iteration interior-point
+//     refactorization must not allocate.
+//
+// The framework deliberately mirrors the shape of golang.org/x/tools'
+// go/analysis (Analyzer, Pass, Diagnostic) but is built only on go/parser,
+// go/types and the source go/importer, so the module gains no dependencies.
+// The cmd/bbvet driver runs every registered analyzer over the repository
+// and CI requires a clean run.
+//
+// Findings can be suppressed per line with a directive comment, either on
+// the flagged line or on the line directly above it:
+//
+//	x := a.Val // bbvet:allow csralias transient view, released below
+//	//bbvet:allow floatcmp sort tie-break needs exact ordering
+//	if p.BudgetTotal != q.BudgetTotal {
+//
+// A reason is mandatory: a bare allow without justification is itself
+// reported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in reports and in bbvet:allow directives.
+	Name string
+	// Doc is a short description shown by `bbvet -help`.
+	Doc string
+	// Run inspects a package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// A Diagnostic is one finding, attributed to the analyzer that produced it.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the diagnostic in the canonical file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// A Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		FloatCmp,
+		MapRange,
+		HotAlloc,
+		StatusCheck,
+		CSRAlias,
+	}
+}
+
+// ByName resolves a comma-separated analyzer list against the suite.
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return All(), nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Run applies the analyzers to the package and returns the surviving
+// diagnostics: suppressed findings are dropped, malformed suppression
+// directives are themselves reported, and the result is sorted by position
+// so output order never depends on analyzer internals.
+func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
+		a.Run(pass)
+	}
+	sup := collectAllows(pkg)
+	diags = append(diags, sup.malformed...)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !sup.allows(d) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept
+}
+
+// allowDirective is the parsed form of one bbvet:allow comment.
+const allowPrefix = "bbvet:allow"
+
+// HotpathDirective marks a function whose body must not allocate; the
+// hotalloc analyzer checks every function so annotated.
+const HotpathDirective = "bbvet:hotpath"
+
+type suppressions struct {
+	// byFileLine maps filename -> line -> set of allowed analyzer names.
+	byFileLine map[string]map[int]map[string]bool
+	malformed  []Diagnostic
+}
+
+// collectAllows scans the package's comments for bbvet:allow directives.
+func collectAllows(pkg *Package) *suppressions {
+	s := &suppressions{byFileLine: map[string]map[int]map[string]bool{}}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := directiveText(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					s.malformed = append(s.malformed, Diagnostic{
+						Pos:      pos,
+						Analyzer: "bbvet",
+						Message:  "malformed bbvet:allow directive: want \"bbvet:allow <analyzer> <reason>\"",
+					})
+					continue
+				}
+				name := fields[0]
+				known := false
+				for _, a := range All() {
+					if a.Name == name {
+						known = true
+						break
+					}
+				}
+				if !known {
+					s.malformed = append(s.malformed, Diagnostic{
+						Pos:      pos,
+						Analyzer: "bbvet",
+						Message:  fmt.Sprintf("bbvet:allow names unknown analyzer %q", name),
+					})
+					continue
+				}
+				lines := s.byFileLine[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					s.byFileLine[pos.Filename] = lines
+				}
+				if lines[pos.Line] == nil {
+					lines[pos.Line] = map[string]bool{}
+				}
+				lines[pos.Line][name] = true
+			}
+		}
+	}
+	return s
+}
+
+// directiveText extracts the payload after bbvet:allow from a comment, in
+// either the strict directive form //bbvet:allow or the prose form
+// "// bbvet:allow" usable at the end of a code line.
+func directiveText(comment string) (string, bool) {
+	text := strings.TrimPrefix(comment, "//")
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, allowPrefix) {
+		return "", false
+	}
+	return strings.TrimSpace(strings.TrimPrefix(text, allowPrefix)), true
+}
+
+// allows reports whether a directive on the diagnostic's line, or on the
+// line directly above it, suppresses the diagnostic.
+func (s *suppressions) allows(d Diagnostic) bool {
+	lines := s.byFileLine[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[d.Pos.Line][d.Analyzer] || lines[d.Pos.Line-1][d.Analyzer]
+}
+
+// funcHotpath reports whether the function declaration carries the
+// bbvet:hotpath directive in its doc comment.
+func funcHotpath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == HotpathDirective || strings.HasPrefix(text, HotpathDirective+" ") {
+			return true
+		}
+	}
+	return false
+}

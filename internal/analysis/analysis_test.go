@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseOnly builds a Package with parsed (not type-checked) files — enough
+// for the comment-driven machinery under test here.
+func parseOnly(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{Fset: fset, Files: []*ast.File{f}}
+}
+
+func TestAllowDirectiveParsing(t *testing.T) {
+	pkg := parseOnly(t, `package p
+
+//bbvet:allow floatcmp exact guard with a reason
+var a int
+
+//bbvet:allow floatcmp
+var b int
+
+//bbvet:allow nosuchanalyzer some reason
+var c int
+
+var d int // bbvet:allow maprange trailing directive with reason
+`)
+	sup := collectAllows(pkg)
+	if n := len(sup.malformed); n != 2 {
+		t.Fatalf("got %d malformed diagnostics, want 2: %v", n, sup.malformed)
+	}
+	if !strings.Contains(sup.malformed[0].Message, "malformed") {
+		t.Errorf("missing-reason directive not reported as malformed: %v", sup.malformed[0])
+	}
+	if !strings.Contains(sup.malformed[1].Message, "unknown analyzer") {
+		t.Errorf("unknown-analyzer directive not reported: %v", sup.malformed[1])
+	}
+	// The well-formed directive suppresses floatcmp on its own line and on
+	// the line below, but not other analyzers and not other lines.
+	cases := []struct {
+		line     int
+		analyzer string
+		want     bool
+	}{
+		{3, "floatcmp", true},
+		{4, "floatcmp", true},
+		{5, "floatcmp", false},
+		{3, "maprange", false},
+		{12, "maprange", true},
+		{13, "maprange", true},
+	}
+	for _, c := range cases {
+		d := Diagnostic{Pos: token.Position{Filename: "fixture.go", Line: c.line}, Analyzer: c.analyzer}
+		if got := sup.allows(d); got != c.want {
+			t.Errorf("allows(line %d, %s) = %v, want %v", c.line, c.analyzer, got, c.want)
+		}
+	}
+}
+
+func TestHotpathDirectiveDetection(t *testing.T) {
+	pkg := parseOnly(t, `package p
+
+// doc text.
+//
+//bbvet:hotpath
+func hot() {}
+
+// plain doc.
+func cold() {}
+
+// mentions bbvet:hotpath mid-sentence only.
+func prose() {}
+`)
+	got := map[string]bool{}
+	for _, decl := range pkg.Files[0].Decls {
+		if fn, ok := decl.(*ast.FuncDecl); ok {
+			got[fn.Name.Name] = funcHotpath(fn)
+		}
+	}
+	want := map[string]bool{"hot": true, "cold": false, "prose": false}
+	for name, w := range want {
+		if got[name] != w {
+			t.Errorf("funcHotpath(%s) = %v, want %v", name, got[name], w)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	all, err := ByName("")
+	if err != nil || len(all) != len(All()) {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want the full suite", len(all), err)
+	}
+	two, err := ByName("floatcmp, csralias")
+	if err != nil || len(two) != 2 || two[0].Name != "floatcmp" || two[1].Name != "csralias" {
+		t.Fatalf("ByName subset = %v, err %v", two, err)
+	}
+	if _, err := ByName("floatcmp,bogus"); err == nil {
+		t.Fatal("ByName accepted an unknown analyzer")
+	}
+}
+
+func TestExpandPatternsSkipsTestdata(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := ExpandPatterns(loader.ModDir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dirs {
+		if strings.Contains(d, "testdata") {
+			t.Errorf("pattern expansion descended into %s", d)
+		}
+	}
+	// An explicit testdata path must still load (that is how fixtures run).
+	fx, err := ExpandPatterns(loader.ModDir, []string{"testdata/analysis/floatcmp"})
+	if err != nil || len(fx) != 1 {
+		t.Fatalf("explicit fixture dir: %v, err %v", fx, err)
+	}
+}

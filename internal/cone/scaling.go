@@ -117,6 +117,8 @@ func jnorm(x linalg.Vector) float64 {
 
 // applyP writes P(v) u into dst for a SOC block: 2 v (vᵀu) − det(v)·J u.
 // dst may not alias u.
+//
+//bbvet:hotpath
 func applyP(v linalg.Vector, detV float64, dst, u linalg.Vector) {
 	dot := linalg.Dot(v, u)
 	dst[0] = 2*v[0]*dot - detV*u[0]
@@ -166,6 +168,8 @@ func (w *Scaling) ApplyInv(dst, x linalg.Vector) {
 
 // OrthantInv returns the inverse diagonal entry 1/dᵢ of W for orthant row i
 // (0 ≤ i < Dims.NonNeg): the factor that row i of G picks up in W⁻¹G.
+//
+//bbvet:hotpath
 func (w *Scaling) OrthantInv(i int) float64 { return 1 / w.d[i] }
 
 // ApplyInvSOC writes P(v⁻¹) x into dst for SOC block bi; both vectors must
@@ -173,6 +177,8 @@ func (w *Scaling) OrthantInv(i int) float64 { return 1 / w.d[i] }
 // lets callers apply W⁻¹ blockwise to matrix columns without materializing
 // dense cone-dimension vectors — the building block of the sparse
 // normal-equations assembly.
+//
+//bbvet:hotpath
 func (w *Scaling) ApplyInvSOC(bi int, dst, x linalg.Vector) {
 	blk := w.blocks[bi]
 	if len(dst) != len(blk.v) || len(x) != len(blk.v) {

@@ -78,10 +78,13 @@ func ParetoFrontier(c *taskgraph.Config, steps int, opt Options) ([]ParetoPoint,
 		if r.Status != StatusOptimal {
 			return pt, nil // filtered below; infeasible stays infeasible at every ratio
 		}
-		for _, b := range r.Mapping.Budgets {
-			pt.BudgetTotal += b
-		}
+		// Sum in declaration order, not map order: float addition is not
+		// associative in the bits, so map iteration would make the totals
+		// run-dependent.
 		for _, tg := range cc.Graphs {
+			for j := range tg.Tasks {
+				pt.BudgetTotal += r.Mapping.Budgets[tg.Tasks[j].Name]
+			}
 			for j := range tg.Buffers {
 				bf := &tg.Buffers[j]
 				pt.MemoryTotal += r.Mapping.Capacities[bf.Name] * bf.EffectiveContainerSize()
@@ -121,6 +124,7 @@ func nondominated(points []ParetoPoint) []ParetoPoint {
 		}
 	}
 	sort.Slice(out, func(a, b int) bool {
+		//bbvet:allow floatcmp sort comparator needs an exact, self-consistent ordering
 		if out[a].BudgetTotal != out[b].BudgetTotal {
 			return out[a].BudgetTotal < out[b].BudgetTotal
 		}

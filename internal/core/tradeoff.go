@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/taskgraph"
 )
@@ -42,7 +43,9 @@ func SweepBufferCaps(c *taskgraph.Config, buffers []string, caps []int, opt Opti
 			}
 		}
 	}
-	for b := range want {
+	// Check in caller order, not map order, so the reported buffer is the
+	// same on every run.
+	for _, b := range buffers {
 		if !found[b] {
 			return nil, fmt.Errorf("core: swept buffer %q not found in configuration", b)
 		}
@@ -70,9 +73,14 @@ func (p TradeoffPoint) BudgetSum() float64 {
 	if p.Result == nil || p.Result.Mapping == nil {
 		return math.NaN()
 	}
+	names := make([]string, 0, len(p.Result.Mapping.Budgets))
+	for name := range p.Result.Mapping.Budgets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var sum float64
-	for _, b := range p.Result.Mapping.Budgets {
-		sum += b
+	for _, name := range names {
+		sum += p.Result.Mapping.Budgets[name]
 	}
 	return sum
 }

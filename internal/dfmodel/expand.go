@@ -2,6 +2,7 @@ package dfmodel
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/sdf"
 	"repro/internal/srdf"
@@ -176,8 +177,26 @@ func ExpandBuffer(b *taskgraph.Buffer, qFrom, qTo, gamma int) ([]BufferDep, erro
 			add(f%qTo, l, nStar-f/qTo, true)
 		}
 	}
+	// Emit in sorted key order: the map collected minima, but the returned
+	// dependency list (and the error text on underflow) must not depend on
+	// map iteration order.
+	keys := make([]key, 0, len(min))
+	for k := range min {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.space != b.space {
+			return !a.space
+		}
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		return a.dst < b.dst
+	})
 	out := make([]BufferDep, 0, len(min))
-	for k, d := range min {
+	for _, k := range keys {
+		d := min[k]
 		if d < 0 {
 			return nil, fmt.Errorf("dfmodel: buffer %q produced a negative dependency distance", b.Name)
 		}

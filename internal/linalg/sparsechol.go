@@ -10,6 +10,8 @@ import "math"
 // factorization retries with increasing extra shifts reg, 10·reg, … up to
 // 1e8·reg — the same escalation policy as the dense Cholesky — before
 // giving up with ErrNotPositiveDefinite.
+//
+//bbvet:hotpath
 func (c *SparseCholesky) Factorize(a *SparseMatrix, shift, reg float64) error {
 	c.checkPattern(a)
 	extra := 0.0
@@ -34,6 +36,8 @@ func (c *SparseCholesky) Factorize(a *SparseMatrix, shift, reg float64) error {
 // pattern. Diagonal pivots whose magnitude falls below eps are floored at
 // ±eps preserving sign, matching the dense LDLT policy; the factorization
 // fails only on NaN breakdown.
+//
+//bbvet:hotpath
 func (c *SparseCholesky) FactorizeQuasiDef(a *SparseMatrix, eps float64) error {
 	c.checkPattern(a)
 	c.shift = 0
@@ -43,6 +47,7 @@ func (c *SparseCholesky) FactorizeQuasiDef(a *SparseMatrix, eps float64) error {
 	return nil
 }
 
+//bbvet:hotpath
 func (c *SparseCholesky) checkPattern(a *SparseMatrix) {
 	if a.Rows != c.n || a.Cols != c.n || a.NNZ() != c.nnzA {
 		panic("linalg: SparseCholesky.Factorize pattern differs from the analyzed one")
@@ -54,6 +59,8 @@ func (c *SparseCholesky) checkPattern(a *SparseMatrix) {
 // the union of elimination-tree paths from the column's entries — collected
 // in topological order via the flag stamps, so the sparse solve visits each
 // contributing column exactly once.
+//
+//bbvet:hotpath
 func (c *SparseCholesky) tryFactorize(a *SparseMatrix, shift float64, quasiDef bool, eps float64) bool {
 	n := c.n
 	y, pat, flag, lnz := c.y, c.pat, c.flag, c.lnz

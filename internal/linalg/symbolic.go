@@ -141,8 +141,10 @@ func NewSparseCholesky(a *SparseMatrix, perm []int) *SparseCholesky {
 // symbolic fill the ordering achieved (the diagonal is implicit).
 func (c *SparseCholesky) NNZL() int { return c.lp[c.n] }
 
-// Perm returns the fill-reducing ordering in use (not a copy).
-func (c *SparseCholesky) Perm() []int { return c.perm }
+// Perm returns a copy of the fill-reducing ordering in use. (A copy: the
+// live ordering is part of the factorization's fixed pattern and must not
+// be aliased by callers.)
+func (c *SparseCholesky) Perm() []int { return append([]int(nil), c.perm...) }
 
 // Shift returns the extra diagonal regularization the last Factorize had to
 // apply beyond its static shift (0 if the matrix factorized cleanly).

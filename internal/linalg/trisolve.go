@@ -5,6 +5,8 @@ package linalg
 // the diagonal scaling, and the transposed backward solve, then permuted
 // back. Only the stored nonzeros of L are visited, so a solve costs
 // O(n + nnz(L)).
+//
+//bbvet:hotpath
 func (c *SparseCholesky) Solve(b Vector) {
 	if len(b) != c.n {
 		panic("linalg: SparseCholesky.Solve dimension mismatch")
@@ -45,6 +47,8 @@ func (c *SparseCholesky) Solve(b Vector) {
 // the matrix a — normally the unshifted original, so the refinement also
 // sweeps out the error introduced by diagonal regularization. The solution
 // is written into x; b is not modified.
+//
+//bbvet:hotpath
 func (c *SparseCholesky) SolveRefined(a *SparseMatrix, b, x Vector) {
 	if len(x) != c.n || len(b) != c.n {
 		panic("linalg: SparseCholesky.SolveRefined dimension mismatch")

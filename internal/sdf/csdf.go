@@ -3,6 +3,7 @@ package sdf
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/srdf"
 )
@@ -196,7 +197,20 @@ func (g *CSDFGraph) ToSRDF() (*Expansion, error) {
 				}
 			}
 		}
-		for kk, delta := range min {
+		// Add edges in sorted key order so edge IDs (and any failure text)
+		// do not depend on map iteration order.
+		keys := make([]key, 0, len(min))
+		for kk := range min {
+			keys = append(keys, kk)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].src != keys[j].src {
+				return keys[i].src < keys[j].src
+			}
+			return keys[i].dst < keys[j].dst
+		})
+		for _, kk := range keys {
+			delta := min[kk]
 			if delta < 0 {
 				return nil, fmt.Errorf("sdf: CSDF edge %q produced a negative distance", e.Name)
 			}

@@ -280,6 +280,8 @@ func (st *state) factor(w *cone.Scaling) (*kktFactor, error) {
 // static diagonal shift; pe > 0 factorizes the quasi-definite reduced KKT
 // matrix with the ±reg diagonal floor, matching the dense backend's
 // regularization semantics.
+//
+//bbvet:hotpath
 func (st *state) factorSparse(f *kktFactor) (*kktFactor, error) {
 	ne := st.sv.normalEq()
 	ne.ata.Compute(st.sv.gs)

@@ -101,6 +101,8 @@ func newNEFactor(sv *sparseView, a *linalg.SparseMatrix) *neFactor {
 // static regularization: the H block is copied through the scatter map and
 // the diagonal becomes H(i,i)+reg on the variable block and −reg on the
 // equality block.
+//
+//bbvet:hotpath
 func (f *neFactor) fillKKT(reg float64) {
 	hv := f.ata.Result.Val
 	kv := f.kkt.Val

@@ -1,0 +1,44 @@
+// Package floatcmp is a bbvet fixture: exact floating-point comparisons
+// are flagged; exact-zero sentinel checks and constant folds are not.
+package floatcmp
+
+func defaults(tol float64) float64 {
+	if tol == 0 { // exact-zero sentinel: legal
+		tol = 1e-9
+	}
+	return tol
+}
+
+func skipZeroEntry(v float64) bool {
+	return v != 0 // exact-zero sentinel: legal
+}
+
+func bad(a, b float64) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+func badNeq(a, b float32) bool {
+	return a != b // want `floating-point != comparison`
+}
+
+func badConstOne(a float64) bool {
+	return a == 1 // want `floating-point == comparison`
+}
+
+func constFold() bool {
+	const x = 1.5
+	return x == 1.5 // both sides constant: legal
+}
+
+func intsAreFine(a, b int) bool {
+	return a == b // not floating point: legal
+}
+
+func allowed(a, b float64) bool {
+	//bbvet:allow floatcmp deliberate exact tie-break, documented in the fixture
+	return a != b
+}
+
+func allowedInline(a, b float64) bool {
+	return a == b // bbvet:allow floatcmp exact guard with trailing directive
+}

@@ -1,0 +1,47 @@
+// Package statuscheck is a bbvet fixture: dropped Status/error results of
+// the watched entry points (Solve, Factorize, ...) are flagged; checked
+// results and unwatched helpers are not.
+package statuscheck
+
+// Status mirrors the solver packages' outcome type: named "Status", so the
+// analyzer treats it as result-bearing.
+type Status int
+
+func Solve() (Status, error) { return 0, nil }
+
+func Factorize() error { return nil }
+
+func helper() int { return 0 }
+
+func dropsAll() {
+	Solve()     // want `result of Solve dropped`
+	Factorize() // want `result of Factorize dropped`
+}
+
+func blanks() {
+	_, _ = Solve()  // want `Status/error result of Solve assigned to _`
+	_ = Factorize() // want `Status/error result of Factorize assigned to _`
+}
+
+func keepsStatus() {
+	st, _ := Solve() // Status kept: legal
+	_ = st
+}
+
+func checked() error {
+	if err := Factorize(); err != nil {
+		return err
+	}
+	st, err := Solve()
+	_ = st
+	return err
+}
+
+func unwatched() {
+	helper() // not a watched entry point: legal
+}
+
+func allowed() {
+	//bbvet:allow statuscheck fixture demonstrates a justified suppression
+	Factorize()
+}
