@@ -9,6 +9,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -46,7 +47,7 @@ var fig2Sweep struct {
 
 func fig2Points() ([]experiments.Fig2Point, error) {
 	fig2Sweep.once.Do(func() {
-		fig2Sweep.points, fig2Sweep.err = experiments.Fig2(core.Options{})
+		fig2Sweep.points, fig2Sweep.err = experiments.Fig2(context.Background(), core.Options{})
 	})
 	return fig2Sweep.points, fig2Sweep.err
 }
@@ -55,7 +56,7 @@ func fig2Points() ([]experiments.Fig2Point, error) {
 // of the producer-consumer graph T1 (10 joint solves per iteration).
 func BenchmarkFig2a(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		points, err := experiments.Fig2(core.Options{})
+		points, err := experiments.Fig2(context.Background(), core.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -83,7 +84,7 @@ func BenchmarkFig2b(b *testing.B) {
 // on the three-task chain T2.
 func BenchmarkFig3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		points, err := experiments.Fig3(core.Options{})
+		points, err := experiments.Fig3(context.Background(), core.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -111,7 +112,7 @@ func BenchmarkPaperInstances(b *testing.B) {
 				cfg = gen.PaperT2(inst.cap)
 			}
 			for i := 0; i < b.N; i++ {
-				r, err := core.Solve(cfg, core.Options{})
+				r, err := core.Solve(context.Background(), cfg, core.Options{})
 				if err != nil || r.Status != core.StatusOptimal {
 					b.Fatalf("%v %v", r.Status, err)
 				}
@@ -127,7 +128,7 @@ func BenchmarkScalability(b *testing.B) {
 		b.Run(fmt.Sprintf("tasks=%d", n), func(b *testing.B) {
 			cfg := gen.Chain(gen.ChainOptions{Tasks: n})
 			for i := 0; i < b.N; i++ {
-				r, err := core.Solve(cfg, core.Options{SkipVerification: true})
+				r, err := core.Solve(context.Background(), cfg, core.Options{SkipVerification: true})
 				if err != nil || r.Status != core.StatusOptimal {
 					b.Fatalf("%v %v", r.Status, err)
 				}
@@ -140,7 +141,7 @@ func BenchmarkScalability(b *testing.B) {
 // false negatives of the classical two-phase flows.
 func BenchmarkJointVsTwoPhase(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.JointVsTwoPhase(core.Options{})
+		rows, err := experiments.JointVsTwoPhase(context.Background(), core.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -152,7 +153,7 @@ func BenchmarkJointVsTwoPhase(b *testing.B) {
 // A1): relaxed vs rounded vs exhaustive integer optimum.
 func BenchmarkAblationRounding(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.AblationRounding(core.Options{})
+		rows, err := experiments.AblationRounding(context.Background(), core.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -269,7 +270,7 @@ func BenchmarkFactorizeSparseVsDense(b *testing.B) {
 // (extension: affine latency constraints in the cone program).
 func BenchmarkLatencyTradeoff(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		points, err := experiments.LatencyTradeoff(core.Options{})
+		points, err := experiments.LatencyTradeoff(context.Background(), core.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -280,7 +281,7 @@ func BenchmarkLatencyTradeoff(b *testing.B) {
 // BenchmarkPareto regenerates the weight-sweep Pareto frontier of T1.
 func BenchmarkPareto(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		points, err := core.ParetoFrontier(gen.PaperT1(0), 13, core.Options{})
+		points, err := core.ParetoFrontier(context.Background(), gen.PaperT1(0), 13, core.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -295,7 +296,7 @@ func BenchmarkPareto(b *testing.B) {
 func BenchmarkBindingSearch(b *testing.B) {
 	cfg := gen.PaperT2(6)
 	for i := 0; i < b.N; i++ {
-		r, err := binding.Exhaustive(cfg, core.Options{}, 0)
+		r, err := binding.Exhaustive(context.Background(), cfg, core.Options{}, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -312,7 +313,7 @@ func BenchmarkMultiRate(b *testing.B) {
 	cfg.Graphs[0].Buffers[0].Prod = 2
 	cfg.Graphs[0].Buffers[0].Cons = 1
 	for i := 0; i < b.N; i++ {
-		r, err := mrate.Solve(cfg, mrate.Options{})
+		r, err := mrate.Solve(context.Background(), cfg, mrate.Options{})
 		if err != nil || r.Status != core.StatusOptimal {
 			b.Fatalf("%v %v", r.Status, err)
 		}
@@ -323,7 +324,7 @@ func BenchmarkMultiRate(b *testing.B) {
 // T1 mapping (500 firings per task).
 func BenchmarkSimulator(b *testing.B) {
 	cfg := gen.PaperT1(4)
-	r, err := core.Solve(cfg, core.Options{})
+	r, err := core.Solve(context.Background(), cfg, core.Options{})
 	if err != nil || r.Status != core.StatusOptimal {
 		b.Fatalf("%v %v", r.Status, err)
 	}

@@ -14,10 +14,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
 
 	"repro/internal/binding"
@@ -28,10 +30,13 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	code := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	stop()
+	os.Exit(code)
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("bbmap", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -41,6 +46,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		bind       = fs.String("bind", "", "also search task/buffer bindings: exhaustive | greedy")
 		outPath    = fs.String("out", "", "write the mapping as JSON to this file")
 		quiet      = fs.Bool("quiet", false, "suppress the human-readable report")
+		timeout    = fs.Duration("timeout", 0, "abort solving after this duration (0 = no limit)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -55,14 +61,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "bbmap:", err)
 		return 1
 	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *bind != "" {
 		var br *binding.Result
 		switch *bind {
 		case "exhaustive":
-			br, err = binding.Exhaustive(cfg, core.Options{}, 0)
+			br, err = binding.Exhaustive(ctx, cfg, core.Options{}, 0)
 		case "greedy":
-			br, err = binding.Greedy(cfg, core.Options{}, 0)
+			br, err = binding.Greedy(ctx, cfg, core.Options{}, 0)
 		default:
 			fmt.Fprintf(stderr, "bbmap: unknown binding mode %q\n", *bind)
 			return 2
@@ -81,7 +92,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if cfg.MultiRate() {
 			// Multi-rate graphs use the hybrid solver (fixed-capacity cone
 			// programs inside a capacity search).
-			mr, merr := mrate.Solve(cfg, mrate.Options{})
+			mr, merr := mrate.Solve(ctx, cfg, mrate.Options{})
 			if merr != nil {
 				fmt.Fprintln(stderr, "bbmap:", merr)
 				return 1
@@ -95,7 +106,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			break
 		}
-		res, err = core.Solve(cfg, core.Options{})
+		res, err = core.Solve(ctx, cfg, core.Options{})
 	case "budget-first":
 		pol := core.BudgetMinimalRate
 		switch *policy {
@@ -106,9 +117,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "bbmap: unknown policy %q\n", *policy)
 			return 2
 		}
-		res, err = core.TwoPhaseBudgetFirst(cfg, pol, core.Options{})
+		res, err = core.TwoPhaseBudgetFirst(ctx, cfg, pol, core.Options{})
 	case "buffer-first":
-		res, err = core.TwoPhaseBufferFirst(cfg, nil, core.Options{})
+		res, err = core.TwoPhaseBufferFirst(ctx, cfg, nil, core.Options{})
 	default:
 		fmt.Fprintf(stderr, "bbmap: unknown method %q\n", *method)
 		return 2

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -23,7 +24,7 @@ func TestRunJoint(t *testing.T) {
 	path := writeConfig(t, gen.PaperT1(4))
 	var out, errb bytes.Buffer
 	mapPath := filepath.Join(t.TempDir(), "m.json")
-	code := run([]string{"-config", path, "-out", mapPath}, &out, &errb)
+	code := run(context.Background(), []string{"-config", path, "-out", mapPath}, &out, &errb)
 	if code != 0 {
 		t.Fatalf("exit %d, stderr %s", code, errb.String())
 	}
@@ -45,7 +46,7 @@ func TestRunJoint(t *testing.T) {
 func TestRunBudgetFirst(t *testing.T) {
 	path := writeConfig(t, gen.PaperT1(0))
 	var out, errb bytes.Buffer
-	if code := run([]string{"-config", path, "-method", "budget-first"}, &out, &errb); code != 0 {
+	if code := run(context.Background(), []string{"-config", path, "-method", "budget-first"}, &out, &errb); code != 0 {
 		t.Fatalf("exit %d: %s", code, errb.String())
 	}
 	if !strings.Contains(out.String(), "status: optimal") {
@@ -53,7 +54,7 @@ func TestRunBudgetFirst(t *testing.T) {
 	}
 	// Fair-share variant.
 	out.Reset()
-	if code := run([]string{"-config", path, "-method", "budget-first", "-policy", "fair-share"}, &out, &errb); code != 0 {
+	if code := run(context.Background(), []string{"-config", path, "-method", "budget-first", "-policy", "fair-share"}, &out, &errb); code != 0 {
 		t.Fatalf("fair-share exit %d", code)
 	}
 }
@@ -61,7 +62,7 @@ func TestRunBudgetFirst(t *testing.T) {
 func TestRunBufferFirst(t *testing.T) {
 	path := writeConfig(t, gen.PaperT1(5))
 	var out, errb bytes.Buffer
-	if code := run([]string{"-config", path, "-method", "buffer-first", "-quiet"}, &out, &errb); code != 0 {
+	if code := run(context.Background(), []string{"-config", path, "-method", "buffer-first", "-quiet"}, &out, &errb); code != 0 {
 		t.Fatalf("exit %d: %s", code, errb.String())
 	}
 }
@@ -71,7 +72,7 @@ func TestRunInfeasibleExitCode(t *testing.T) {
 	c.Graphs[0].Period = 0.5
 	path := writeConfig(t, c)
 	var out, errb bytes.Buffer
-	if code := run([]string{"-config", path}, &out, &errb); code != 1 {
+	if code := run(context.Background(), []string{"-config", path}, &out, &errb); code != 1 {
 		t.Fatalf("exit = %d, want 1", code)
 	}
 	if !strings.Contains(out.String(), "infeasible") {
@@ -86,7 +87,7 @@ func TestRunBinding(t *testing.T) {
 	c.Graphs[0].Tasks[1].Processor = "p1" // infeasible binding; search must fix it
 	path := writeConfig(t, c)
 	var out, errb bytes.Buffer
-	if code := run([]string{"-config", path, "-bind", "exhaustive", "-quiet"}, &out, &errb); code != 0 {
+	if code := run(context.Background(), []string{"-config", path, "-bind", "exhaustive", "-quiet"}, &out, &errb); code != 0 {
 		t.Fatalf("exit %d: %s", code, errb.String())
 	}
 	if !strings.Contains(out.String(), "binding search") {
@@ -96,20 +97,20 @@ func TestRunBinding(t *testing.T) {
 
 func TestRunUsageErrors(t *testing.T) {
 	var out, errb bytes.Buffer
-	if code := run(nil, &out, &errb); code != 2 {
+	if code := run(context.Background(), nil, &out, &errb); code != 2 {
 		t.Fatalf("missing -config: exit %d", code)
 	}
 	path := writeConfig(t, gen.PaperT1(0))
-	if code := run([]string{"-config", path, "-method", "bogus"}, &out, &errb); code != 2 {
+	if code := run(context.Background(), []string{"-config", path, "-method", "bogus"}, &out, &errb); code != 2 {
 		t.Fatalf("bad method: exit %d", code)
 	}
-	if code := run([]string{"-config", path, "-method", "budget-first", "-policy", "bogus"}, &out, &errb); code != 2 {
+	if code := run(context.Background(), []string{"-config", path, "-method", "budget-first", "-policy", "bogus"}, &out, &errb); code != 2 {
 		t.Fatalf("bad policy: exit %d", code)
 	}
-	if code := run([]string{"-config", path, "-bind", "bogus"}, &out, &errb); code != 2 {
+	if code := run(context.Background(), []string{"-config", path, "-bind", "bogus"}, &out, &errb); code != 2 {
 		t.Fatalf("bad bind: exit %d", code)
 	}
-	if code := run([]string{"-config", "/nonexistent.json"}, &out, &errb); code != 1 {
+	if code := run(context.Background(), []string{"-config", "/nonexistent.json"}, &out, &errb); code != 1 {
 		t.Fatalf("missing file: exit %d", code)
 	}
 }

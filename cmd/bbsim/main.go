@@ -14,11 +14,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
+	"os/signal"
 	"sort"
 
 	"repro/internal/core"
@@ -28,10 +30,13 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	code := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	stop()
+	os.Exit(code)
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("bbsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -41,6 +46,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed        = fs.Int64("seed", 1, "seed for randomized options")
 		randOffsets = fs.Bool("random-offsets", false, "randomize TDM slice offsets")
 		randExec    = fs.Bool("random-exec", false, "randomize execution times below WCET")
+		timeout     = fs.Duration("timeout", 0, "abort the joint solve after this duration (0 = no limit)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -56,6 +62,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	var mapping *taskgraph.Mapping
 	if *mappingPath != "" {
 		mapping, err = taskgraph.ReadMappingFile(*mappingPath)
@@ -64,7 +76,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	} else {
-		res, err := core.Solve(cfg, core.Options{})
+		res, err := core.Solve(ctx, cfg, core.Options{})
 		if err != nil {
 			fmt.Fprintln(stderr, "bbsim:", err)
 			return 1

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -22,7 +23,7 @@ func writeConfig(t *testing.T, c *taskgraph.Config) string {
 func TestSimSolveAndRun(t *testing.T) {
 	path := writeConfig(t, gen.PaperT1(4))
 	var out, errb bytes.Buffer
-	if code := run([]string{"-config", path, "-firings", "100"}, &out, &errb); code != 0 {
+	if code := run(context.Background(), []string{"-config", path, "-firings", "100"}, &out, &errb); code != 0 {
 		t.Fatalf("exit %d: %s", code, errb.String())
 	}
 	if !strings.Contains(out.String(), "all tasks meet their throughput requirements") {
@@ -42,7 +43,7 @@ func TestSimWithMappingFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out, errb bytes.Buffer
-	if code := run([]string{"-config", path, "-mapping", mpath, "-firings", "100"}, &out, &errb); code != 0 {
+	if code := run(context.Background(), []string{"-config", path, "-mapping", mpath, "-firings", "100"}, &out, &errb); code != 0 {
 		t.Fatalf("exit %d: %s %s", code, errb.String(), out.String())
 	}
 }
@@ -50,7 +51,7 @@ func TestSimWithMappingFile(t *testing.T) {
 func TestSimRandomizedModes(t *testing.T) {
 	path := writeConfig(t, gen.PaperT1(3))
 	var out, errb bytes.Buffer
-	code := run([]string{"-config", path, "-firings", "100", "-random-offsets", "-random-exec", "-seed", "7"}, &out, &errb)
+	code := run(context.Background(), []string{"-config", path, "-firings", "100", "-random-offsets", "-random-exec", "-seed", "7"}, &out, &errb)
 	if code != 0 {
 		t.Fatalf("exit %d: %s", code, errb.String())
 	}
@@ -68,7 +69,7 @@ func TestSimDetectsMiss(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out, errb bytes.Buffer
-	if code := run([]string{"-config", path, "-mapping", mpath, "-firings", "100"}, &out, &errb); code != 1 {
+	if code := run(context.Background(), []string{"-config", path, "-mapping", mpath, "-firings", "100"}, &out, &errb); code != 1 {
 		t.Fatalf("exit = %d, want 1\n%s", code, out.String())
 	}
 	if !strings.Contains(out.String(), "missed the throughput requirement") {
@@ -78,21 +79,21 @@ func TestSimDetectsMiss(t *testing.T) {
 
 func TestSimUsageErrors(t *testing.T) {
 	var out, errb bytes.Buffer
-	if code := run(nil, &out, &errb); code != 2 {
+	if code := run(context.Background(), nil, &out, &errb); code != 2 {
 		t.Fatalf("missing -config: exit %d", code)
 	}
-	if code := run([]string{"-config", "/nonexistent.json"}, &out, &errb); code != 1 {
+	if code := run(context.Background(), []string{"-config", "/nonexistent.json"}, &out, &errb); code != 1 {
 		t.Fatalf("missing file: exit %d", code)
 	}
 	path := writeConfig(t, gen.PaperT1(0))
-	if code := run([]string{"-config", path, "-mapping", "/nonexistent.json"}, &out, &errb); code != 1 {
+	if code := run(context.Background(), []string{"-config", path, "-mapping", "/nonexistent.json"}, &out, &errb); code != 1 {
 		t.Fatalf("missing mapping: exit %d", code)
 	}
 	// Infeasible config with joint solve.
 	bad := gen.PaperT1(0)
 	bad.Graphs[0].Period = 0.5
 	bpath := writeConfig(t, bad)
-	if code := run([]string{"-config", bpath}, &out, &errb); code != 1 {
+	if code := run(context.Background(), []string{"-config", bpath}, &out, &errb); code != 1 {
 		t.Fatalf("infeasible: exit %d", code)
 	}
 }

@@ -10,10 +10,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 
@@ -25,10 +27,13 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	code := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	stop()
+	os.Exit(code)
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("bbtrade", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -41,9 +46,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 			"KKT backend: auto | sparse (simplicial LDLT) | dense (sparse assembly, dense factor) | densekkt (all-dense oracle)")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file after the experiments finish")
+		timeout    = fs.Duration("timeout", 0, "abort the experiments after this duration (0 = no limit)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 	opt := core.Options{Parallelism: *parallel}
 	switch *factor {
@@ -95,7 +106,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	runOne := func(name string) int {
 		switch name {
 		case "fig2a", "fig2b":
-			points, err := experiments.Fig2(opt)
+			points, err := experiments.Fig2(ctx, opt)
 			if err != nil {
 				fmt.Fprintln(stderr, "bbtrade:", err)
 				return 1
@@ -114,7 +125,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintln(stdout, experiments.RenderFig2b(points))
 			}
 		case "fig3":
-			points, err := experiments.Fig3(opt)
+			points, err := experiments.Fig3(ctx, opt)
 			if err != nil {
 				fmt.Fprintln(stderr, "bbtrade:", err)
 				return 1
@@ -129,35 +140,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			fmt.Fprintln(stdout, experiments.RenderFig3(points))
 		case "runtime":
-			rows, err := experiments.Runtime(opt)
+			rows, err := experiments.Runtime(ctx, opt)
 			if err != nil {
 				fmt.Fprintln(stderr, "bbtrade:", err)
 				return 1
 			}
 			fmt.Fprintln(stdout, experiments.RenderRuntime(rows))
 		case "scalability":
-			points, err := experiments.Scalability([]int{2, 5, 10, 20, 50, 100}, opt)
+			points, err := experiments.Scalability(ctx, []int{2, 5, 10, 20, 50, 100}, opt)
 			if err != nil {
 				fmt.Fprintln(stderr, "bbtrade:", err)
 				return 1
 			}
 			fmt.Fprintln(stdout, experiments.RenderScalability(points))
 		case "compare":
-			rows, err := experiments.JointVsTwoPhase(opt)
+			rows, err := experiments.JointVsTwoPhase(ctx, opt)
 			if err != nil {
 				fmt.Fprintln(stderr, "bbtrade:", err)
 				return 1
 			}
 			fmt.Fprintln(stdout, experiments.RenderJointVsTwoPhase(rows))
 		case "ablation":
-			rows, err := experiments.AblationRounding(opt)
+			rows, err := experiments.AblationRounding(ctx, opt)
 			if err != nil {
 				fmt.Fprintln(stderr, "bbtrade:", err)
 				return 1
 			}
 			fmt.Fprintln(stdout, experiments.RenderAblation(rows))
 		case "latency":
-			points, err := experiments.LatencyTradeoff(opt)
+			points, err := experiments.LatencyTradeoff(ctx, opt)
 			if err != nil {
 				fmt.Fprintln(stderr, "bbtrade:", err)
 				return 1
@@ -165,7 +176,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout, "Latency/budget trade-off on T1 (wa → wb bound):")
 			fmt.Fprintln(stdout, experiments.RenderLatencyTradeoff(points))
 		case "pareto":
-			points, err := core.ParetoFrontier(gen.PaperT1(0), 13, opt)
+			points, err := core.ParetoFrontier(ctx, gen.PaperT1(0), 13, opt)
 			if err != nil {
 				fmt.Fprintln(stderr, "bbtrade:", err)
 				return 1

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,7 +11,7 @@ import (
 
 func TestTradeFig2aCSV(t *testing.T) {
 	var out, errb bytes.Buffer
-	if code := run([]string{"-experiment", "fig2a", "-csv"}, &out, &errb); code != 0 {
+	if code := run(context.Background(), []string{"-experiment", "fig2a", "-csv"}, &out, &errb); code != 0 {
 		t.Fatalf("exit %d: %s", code, errb.String())
 	}
 	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
@@ -30,7 +31,7 @@ func TestTradeFig2aCSV(t *testing.T) {
 
 func TestTradeFig2bPlot(t *testing.T) {
 	var out, errb bytes.Buffer
-	if code := run([]string{"-experiment", "fig2b"}, &out, &errb); code != 0 {
+	if code := run(context.Background(), []string{"-experiment", "fig2b"}, &out, &errb); code != 0 {
 		t.Fatalf("exit %d", code)
 	}
 	if !strings.Contains(out.String(), "Figure 2(b)") {
@@ -40,7 +41,7 @@ func TestTradeFig2bPlot(t *testing.T) {
 
 func TestTradeFig3CSV(t *testing.T) {
 	var out, errb bytes.Buffer
-	if code := run([]string{"-experiment", "fig3", "-csv"}, &out, &errb); code != 0 {
+	if code := run(context.Background(), []string{"-experiment", "fig3", "-csv"}, &out, &errb); code != 0 {
 		t.Fatalf("exit %d", code)
 	}
 	if !strings.Contains(out.String(), "budget_wb") {
@@ -50,14 +51,14 @@ func TestTradeFig3CSV(t *testing.T) {
 
 func TestTradeParetoAndRuntime(t *testing.T) {
 	var out, errb bytes.Buffer
-	if code := run([]string{"-experiment", "pareto"}, &out, &errb); code != 0 {
+	if code := run(context.Background(), []string{"-experiment", "pareto"}, &out, &errb); code != 0 {
 		t.Fatalf("pareto exit %d", code)
 	}
 	if !strings.Contains(out.String(), "Pareto frontier") {
 		t.Fatal("missing pareto output")
 	}
 	out.Reset()
-	if code := run([]string{"-experiment", "runtime"}, &out, &errb); code != 0 {
+	if code := run(context.Background(), []string{"-experiment", "runtime"}, &out, &errb); code != 0 {
 		t.Fatalf("runtime exit %d", code)
 	}
 	if !strings.Contains(out.String(), "solve time (ms)") {
@@ -67,14 +68,14 @@ func TestTradeParetoAndRuntime(t *testing.T) {
 
 func TestTradeCompareAndAblation(t *testing.T) {
 	var out, errb bytes.Buffer
-	if code := run([]string{"-experiment", "compare"}, &out, &errb); code != 0 {
+	if code := run(context.Background(), []string{"-experiment", "compare"}, &out, &errb); code != 0 {
 		t.Fatalf("compare exit %d: %s", code, errb.String())
 	}
 	if !strings.Contains(out.String(), "budget-first") || !strings.Contains(out.String(), "infeasible") {
 		t.Fatalf("comparison table incomplete:\n%s", out.String())
 	}
 	out.Reset()
-	if code := run([]string{"-experiment", "ablation"}, &out, &errb); code != 0 {
+	if code := run(context.Background(), []string{"-experiment", "ablation"}, &out, &errb); code != 0 {
 		t.Fatalf("ablation exit %d", code)
 	}
 	if !strings.Contains(out.String(), "integer optimum") {
@@ -84,7 +85,7 @@ func TestTradeCompareAndAblation(t *testing.T) {
 
 func TestTradeUnknownExperiment(t *testing.T) {
 	var out, errb bytes.Buffer
-	if code := run([]string{"-experiment", "bogus"}, &out, &errb); code != 2 {
+	if code := run(context.Background(), []string{"-experiment", "bogus"}, &out, &errb); code != 2 {
 		t.Fatalf("exit %d, want 2", code)
 	}
 	if !strings.Contains(errb.String(), "unknown experiment") {
@@ -99,7 +100,7 @@ func TestTradeFactorBackends(t *testing.T) {
 	var want string
 	for _, factor := range []string{"auto", "sparse", "dense", "densekkt"} {
 		var out, errb bytes.Buffer
-		if code := run([]string{"-experiment", "fig2a", "-csv", "-factor", factor}, &out, &errb); code != 0 {
+		if code := run(context.Background(), []string{"-experiment", "fig2a", "-csv", "-factor", factor}, &out, &errb); code != 0 {
 			t.Fatalf("factor %s: exit %d: %s", factor, code, errb.String())
 		}
 		if want == "" {
@@ -109,7 +110,7 @@ func TestTradeFactorBackends(t *testing.T) {
 		}
 	}
 	var out, errb bytes.Buffer
-	if code := run([]string{"-experiment", "fig2a", "-factor", "bogus"}, &out, &errb); code != 2 {
+	if code := run(context.Background(), []string{"-experiment", "fig2a", "-factor", "bogus"}, &out, &errb); code != 2 {
 		t.Fatalf("bogus factor: exit %d, want 2", code)
 	}
 	if !strings.Contains(errb.String(), "unknown -factor") {
@@ -124,7 +125,7 @@ func TestTradeProfiles(t *testing.T) {
 	cpu := filepath.Join(dir, "cpu.pprof")
 	mem := filepath.Join(dir, "mem.pprof")
 	var out, errb bytes.Buffer
-	if code := run([]string{"-experiment", "runtime", "-cpuprofile", cpu, "-memprofile", mem}, &out, &errb); code != 0 {
+	if code := run(context.Background(), []string{"-experiment", "runtime", "-cpuprofile", cpu, "-memprofile", mem}, &out, &errb); code != 0 {
 		t.Fatalf("exit %d: %s", code, errb.String())
 	}
 	for _, p := range []string{cpu, mem} {

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -53,7 +54,7 @@ func main() {
 	fmt.Printf("repetition vector: capture×%d, filter×%d, sink×%d per iteration\n\n",
 		reps["capture"], reps["filter"], reps["sink"])
 
-	res, err := mrate.Solve(cfg, mrate.Options{})
+	res, err := mrate.Solve(context.Background(), cfg, mrate.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -59,7 +60,7 @@ func system() *taskgraph.Config {
 
 func main() {
 	cfg := system()
-	res, err := core.Solve(cfg, core.Options{})
+	res, err := core.Solve(context.Background(), cfg, core.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func main() {
 			{Name: "tiles", From: "render", To: "blit", Memory: "ddr", ContainerSize: 16},
 		},
 	})
-	res2, err := core.Solve(over, core.Options{})
+	res2, err := core.Solve(context.Background(), over, core.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -51,7 +52,7 @@ func decoder() *taskgraph.Config {
 
 func main() {
 	cfg := decoder()
-	res, err := core.Solve(cfg, core.Options{})
+	res, err := core.Solve(context.Background(), cfg, core.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func main() {
 
 	// The classical budget-first flow fails on this instance: rate-minimal
 	// budgets need more buffering than the scratchpad holds.
-	bf, err := core.TwoPhaseBudgetFirst(cfg, core.BudgetMinimalRate, core.Options{})
+	bf, err := core.TwoPhaseBudgetFirst(context.Background(), cfg, core.BudgetMinimalRate, core.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func main() {
 	// Figure 3, the general form of what happened here: middle tasks touch
 	// two buffers, so their budgets are reduced last.
 	fmt.Println("\nFigure 3 (three-task chain, both buffers capped):")
-	points, err := experiments.Fig3(core.Options{})
+	points, err := experiments.Fig3(context.Background(), core.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,7 +20,7 @@ import (
 func main() {
 	// Reproduce Figure 2(a)/(b): capacities 1..10, budget-preferring
 	// weights; the optimizer is queried once per capacity cap.
-	points, err := experiments.Fig2(core.Options{})
+	points, err := experiments.Fig2(context.Background(), core.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -38,7 +39,7 @@ func main() {
 	// slice immediately before the producer slice, maximizing the latency
 	// between production and consumption.
 	cfg := gen.PaperT1(4)
-	res, err := core.Solve(cfg, core.Options{})
+	res, err := core.Solve(context.Background(), cfg, core.Options{})
 	if err != nil || res.Status != core.StatusOptimal {
 		log.Fatalf("solve: %v %v", res.Status, err)
 	}

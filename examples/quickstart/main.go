@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -42,7 +43,7 @@ func main() {
 	// Solve Algorithm 1: one second-order cone program computes budgets and
 	// buffer capacities simultaneously, then rounds conservatively and
 	// re-verifies with dataflow analysis.
-	res, err := core.Solve(cfg, core.Options{})
+	res, err := core.Solve(context.Background(), cfg, core.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

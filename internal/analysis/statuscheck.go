@@ -12,6 +12,7 @@ import (
 // failed leaves its workspace unusable.
 var statusFuncs = map[string]bool{
 	"Solve":             true,
+	"SolveContext":      true,
 	"Factorize":         true,
 	"FactorizeQuasiDef": true,
 	"RunSweep":          true,

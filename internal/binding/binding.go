@@ -17,6 +17,7 @@
 package binding
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -48,7 +49,7 @@ func (r *Result) Objective() float64 {
 // memories and returns the feasible binding with the smallest objective.
 // The search space is |P|^|W| · |M|^|B|; it refuses instances beyond
 // maxCandidates (default 20000) to keep run times sane.
-func Exhaustive(c *taskgraph.Config, opt core.Options, maxCandidates int) (*Result, error) {
+func Exhaustive(ctx context.Context, c *taskgraph.Config, opt core.Options, maxCandidates int) (*Result, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
@@ -76,8 +77,11 @@ func Exhaustive(c *taskgraph.Config, opt core.Options, maxCandidates int) (*Resu
 	var recBuf func(i int)
 	recBuf = func(i int) {
 		if i == len(buffers) {
+			if ctx.Err() != nil {
+				return
+			}
 			cand := apply(c, tasks, assignTask, buffers, assignBuf)
-			r, err := core.Solve(cand, opt)
+			r, err := core.Solve(ctx, cand, opt)
 			evaluated++
 			if err == nil && r.Status == core.StatusOptimal && r.Mapping.Objective < bestObj {
 				bestObj = r.Mapping.Objective
@@ -103,6 +107,11 @@ func Exhaustive(c *taskgraph.Config, opt core.Options, maxCandidates int) (*Resu
 	}
 	rec(0)
 	best.Evaluated = evaluated
+	if err := ctx.Err(); err != nil {
+		// The search was cut short; surface the best binding found so far
+		// (possibly none) together with the cancellation.
+		return best, err
+	}
 	if best.Config == nil {
 		return best, fmt.Errorf("binding: no feasible binding among %d candidates", evaluated)
 	}
@@ -112,7 +121,7 @@ func Exhaustive(c *taskgraph.Config, opt core.Options, maxCandidates int) (*Resu
 // Greedy builds an initial balanced binding and improves it by
 // steepest-descent moves (rebind one task or one buffer) until no move
 // lowers the objective. maxRounds bounds the improvement loop (default 10).
-func Greedy(c *taskgraph.Config, opt core.Options, maxRounds int) (*Result, error) {
+func Greedy(ctx context.Context, c *taskgraph.Config, opt core.Options, maxRounds int) (*Result, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
@@ -168,7 +177,7 @@ func Greedy(c *taskgraph.Config, opt core.Options, maxRounds int) (*Result, erro
 
 	evaluate := func() (*taskgraph.Config, *core.Result, float64) {
 		cand := apply(c, tasks, assignTask, buffers, assignBuf)
-		r, err := core.Solve(cand, opt)
+		r, err := core.Solve(ctx, cand, opt)
 		if err != nil || r.Status != core.StatusOptimal {
 			return cand, r, math.Inf(1)
 		}
@@ -180,7 +189,7 @@ func Greedy(c *taskgraph.Config, opt core.Options, maxRounds int) (*Result, erro
 	evaluated++
 
 	// ---- Steepest-descent improvement ----
-	for round := 0; round < maxRounds; round++ {
+	for round := 0; round < maxRounds && ctx.Err() == nil; round++ {
 		improved := false
 		// Task moves.
 		for i := range tasks {

@@ -1,6 +1,7 @@
 package binding
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -24,11 +25,11 @@ func unbalanced() *taskgraph.Config {
 func TestExhaustiveFindsFeasibleSplit(t *testing.T) {
 	c := unbalanced()
 	// Sanity: the given binding really is infeasible.
-	r, err := core.Solve(c, core.Options{})
+	r, err := core.Solve(context.Background(), c, core.Options{})
 	if err != nil || r.Status != core.StatusInfeasible {
 		t.Fatalf("precondition: expected infeasible, got %v %v", r.Status, err)
 	}
-	res, err := Exhaustive(c, core.Options{}, 0)
+	res, err := Exhaustive(context.Background(), c, core.Options{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestExhaustiveFindsFeasibleSplit(t *testing.T) {
 
 func TestGreedyFindsFeasibleSplit(t *testing.T) {
 	c := unbalanced()
-	res, err := Greedy(c, core.Options{}, 0)
+	res, err := Greedy(context.Background(), c, core.Options{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,11 +73,11 @@ func TestGreedyMatchesExhaustiveSmall(t *testing.T) {
 		unbalanced,
 	} {
 		c := build()
-		ex, err := Exhaustive(c, core.Options{}, 0)
+		ex, err := Exhaustive(context.Background(), c, core.Options{}, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
-		gr, err := Greedy(c, core.Options{}, 0)
+		gr, err := Greedy(context.Background(), c, core.Options{}, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -97,14 +98,14 @@ func TestBindingImprovesMemoryPlacement(t *testing.T) {
 	c.Graphs[0].Buffers[0].Memory = "tiny"
 	// With γ ≤ 1 (constraint 10 leaves room for 1 container in "tiny"),
 	// budgets must be huge; the binding search should prefer "big".
-	res, err := Exhaustive(c, core.Options{}, 0)
+	res, err := Exhaustive(context.Background(), c, core.Options{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := res.Config.Graphs[0].Buffers[0].Memory; got != "big" {
 		t.Fatalf("buffer stayed in %q", got)
 	}
-	gr, err := Greedy(c, core.Options{}, 0)
+	gr, err := Greedy(context.Background(), c, core.Options{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestBindingImprovesMemoryPlacement(t *testing.T) {
 
 func TestExhaustiveCandidateCap(t *testing.T) {
 	c := gen.Chain(gen.ChainOptions{Tasks: 10})
-	if _, err := Exhaustive(c, core.Options{}, 100); err == nil {
+	if _, err := Exhaustive(context.Background(), c, core.Options{}, 100); err == nil {
 		t.Fatal("candidate explosion not rejected")
 	}
 }
@@ -123,10 +124,10 @@ func TestExhaustiveCandidateCap(t *testing.T) {
 func TestExhaustiveInfeasibleEverywhere(t *testing.T) {
 	c := gen.PaperT1(0)
 	c.Graphs[0].Period = 0.5 // infeasible regardless of binding
-	if _, err := Exhaustive(c, core.Options{}, 0); err == nil {
+	if _, err := Exhaustive(context.Background(), c, core.Options{}, 0); err == nil {
 		t.Fatal("expected no-feasible-binding error")
 	}
-	if _, err := Greedy(c, core.Options{}, 0); err == nil {
+	if _, err := Greedy(context.Background(), c, core.Options{}, 0); err == nil {
 		t.Fatal("greedy: expected no-feasible-binding error")
 	}
 }
@@ -141,10 +142,10 @@ func TestResultObjectiveInfeasible(t *testing.T) {
 func TestBindingInvalidConfig(t *testing.T) {
 	c := gen.PaperT1(0)
 	c.Graphs = nil
-	if _, err := Exhaustive(c, core.Options{}, 0); err == nil {
+	if _, err := Exhaustive(context.Background(), c, core.Options{}, 0); err == nil {
 		t.Fatal("invalid config accepted by Exhaustive")
 	}
-	if _, err := Greedy(c, core.Options{}, 0); err == nil {
+	if _, err := Greedy(context.Background(), c, core.Options{}, 0); err == nil {
 		t.Fatal("invalid config accepted by Greedy")
 	}
 }
@@ -153,7 +154,7 @@ func TestBindingInvalidConfig(t *testing.T) {
 // (exhaustive would explode) and produces a verified mapping.
 func TestGreedyMultiJob(t *testing.T) {
 	c := gen.RandomJobs(gen.RandomOptions{Seed: 5, Jobs: 3})
-	res, err := Greedy(c, core.Options{}, 3)
+	res, err := Greedy(context.Background(), c, core.Options{}, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

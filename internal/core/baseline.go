@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -48,9 +49,12 @@ func (p BudgetPolicy) String() string {
 // TwoPhaseBudgetFirst runs the classical flow: phase 1 fixes budgets by the
 // given policy, phase 2 computes minimal buffer capacities by linear
 // programming (solved with the independent simplex in internal/lp).
-func TwoPhaseBudgetFirst(c *taskgraph.Config, policy BudgetPolicy, opt Options) (*Result, error) {
+func TwoPhaseBudgetFirst(ctx context.Context, c *taskgraph.Config, policy BudgetPolicy, opt Options) (*Result, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return &Result{Status: StatusCanceled}, err
 	}
 	res := &Result{SolverStatus: socp.StatusOptimal}
 	g := c.EffectiveGranularity()
@@ -275,7 +279,7 @@ func bufferSizingLP(c *taskgraph.Config, budgets map[string]float64) (map[string
 // buffer capacity (from caps, or from each buffer's MaxContainers when caps
 // is nil), phase 2 minimizes the weighted sum of budgets with the cone
 // program restricted to fixed δ′.
-func TwoPhaseBufferFirst(c *taskgraph.Config, caps map[string]int, opt Options) (*Result, error) {
+func TwoPhaseBufferFirst(ctx context.Context, c *taskgraph.Config, caps map[string]int, opt Options) (*Result, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
@@ -329,9 +333,15 @@ func TwoPhaseBufferFirst(c *taskgraph.Config, caps map[string]int, opt Options) 
 	if err != nil {
 		return nil, err
 	}
-	sol, err := socp.Solve(prob, opt.Solver)
+	sol, report, err := solveConic(ctx, prob, opt.Solver)
+	res.Report = report
 	if err != nil {
-		return nil, err
+		res.Status = StatusError
+		if sol != nil {
+			res.SolverStatus = sol.Status
+			res.SolverIterations = sol.Iterations
+		}
+		return res, err
 	}
 	res.SolverStatus = sol.Status
 	res.SolverIterations = sol.Iterations
@@ -339,6 +349,9 @@ func TwoPhaseBufferFirst(c *taskgraph.Config, caps map[string]int, opt Options) 
 	case socp.StatusOptimal:
 	case socp.StatusPrimalInfeasible:
 		res.Status = StatusInfeasible
+		return res, nil
+	case socp.StatusCanceled:
+		res.Status = StatusCanceled
 		return res, nil
 	default:
 		res.Status = StatusError

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/gen"
@@ -11,7 +12,7 @@ import (
 // minimal-rate policy gives β = ϱχ/µ = 4 and the LP then needs γ = 10
 // (the analytic bound: 2(40−4) + 2·10 = 92 ≤ 10d → d ≥ 9.2).
 func TestBudgetFirstMinimalRateT1(t *testing.T) {
-	r, err := TwoPhaseBudgetFirst(gen.PaperT1(0), BudgetMinimalRate, Options{})
+	r, err := TwoPhaseBudgetFirst(context.Background(), gen.PaperT1(0), BudgetMinimalRate, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +33,7 @@ func TestBudgetFirstMinimalRateT1(t *testing.T) {
 // TestBudgetFirstFairShareT1: fair share gives each task the whole
 // processor (one task per processor), so buffers can be minimal.
 func TestBudgetFirstFairShareT1(t *testing.T) {
-	r, err := TwoPhaseBudgetFirst(gen.PaperT1(0), BudgetFairShare, Options{})
+	r, err := TwoPhaseBudgetFirst(context.Background(), gen.PaperT1(0), BudgetFairShare, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestBudgetFirstFairShareT1(t *testing.T) {
 // β*(4) ≈ 21.84 and succeeds.
 func TestBudgetFirstFalseNegative(t *testing.T) {
 	c := gen.PaperT1(4)
-	twoPhase, err := TwoPhaseBudgetFirst(c, BudgetMinimalRate, Options{})
+	twoPhase, err := TwoPhaseBudgetFirst(context.Background(), c, BudgetMinimalRate, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestBudgetFirstFalseNegative(t *testing.T) {
 func TestFairShareRateInfeasible(t *testing.T) {
 	c := gen.Chain(gen.ChainOptions{Tasks: 12, SharedProcessors: 1, Period: 10})
 	// 12 tasks on one processor: fair share = 40/12 ≈ 3.33 < rate min 4.
-	r, err := TwoPhaseBudgetFirst(c, BudgetFairShare, Options{})
+	r, err := TwoPhaseBudgetFirst(context.Background(), c, BudgetFairShare, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestFairShareRateInfeasible(t *testing.T) {
 // TestBufferFirstT1: fixing the buffer at d containers reproduces β*(d).
 func TestBufferFirstT1(t *testing.T) {
 	for _, d := range []int{1, 4, 10} {
-		r, err := TwoPhaseBufferFirst(gen.PaperT1(0), map[string]int{"bab": d}, Options{})
+		r, err := TwoPhaseBufferFirst(context.Background(), gen.PaperT1(0), map[string]int{"bab": d}, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -106,7 +107,7 @@ func TestBufferFirstT1(t *testing.T) {
 // TestBufferFirstUsesMaxContainers: caps==nil takes capacities from the
 // configuration's MaxContainers.
 func TestBufferFirstUsesMaxContainers(t *testing.T) {
-	r, err := TwoPhaseBufferFirst(gen.PaperT1(5), nil, Options{})
+	r, err := TwoPhaseBufferFirst(context.Background(), gen.PaperT1(5), nil, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestBufferFirstUsesMaxContainers(t *testing.T) {
 		t.Fatalf("status %v capacity %d", r.Status, r.Mapping.Capacities["bab"])
 	}
 	// Without MaxContainers and without caps it must error.
-	if _, err := TwoPhaseBufferFirst(gen.PaperT1(0), nil, Options{}); err == nil {
+	if _, err := TwoPhaseBufferFirst(context.Background(), gen.PaperT1(0), nil, Options{}); err == nil {
 		t.Fatal("missing capacities accepted")
 	}
 }
@@ -125,7 +126,7 @@ func TestBufferFirstUsesMaxContainers(t *testing.T) {
 func TestBufferFirstMemoryFalseNegative(t *testing.T) {
 	c := gen.PaperT2(10)
 	c.Memories[0].Capacity = 12
-	bufferFirst, err := TwoPhaseBufferFirst(c, nil, Options{})
+	bufferFirst, err := TwoPhaseBufferFirst(context.Background(), c, nil, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestBufferFirstMemoryFalseNegative(t *testing.T) {
 		t.Fatalf("buffer-first status = %v, want infeasible", bufferFirst.Status)
 	}
 	// Budget-first also fails: minimal budgets need 10+10 containers.
-	budgetFirst, err := TwoPhaseBudgetFirst(c, BudgetMinimalRate, Options{})
+	budgetFirst, err := TwoPhaseBudgetFirst(context.Background(), c, BudgetMinimalRate, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestBufferFirstMemoryFalseNegative(t *testing.T) {
 func TestBufferFirstRejectsBadCaps(t *testing.T) {
 	c := gen.PaperT1(5)
 	// Cap above MaxContainers.
-	r, err := TwoPhaseBufferFirst(c, map[string]int{"bab": 9}, Options{})
+	r, err := TwoPhaseBufferFirst(context.Background(), c, map[string]int{"bab": 9}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +162,7 @@ func TestBufferFirstRejectsBadCaps(t *testing.T) {
 	// Cap below initial tokens.
 	c2 := gen.PaperT1(0)
 	c2.Graphs[0].Buffers[0].InitialTokens = 4
-	r2, err := TwoPhaseBufferFirst(c2, map[string]int{"bab": 3}, Options{})
+	r2, err := TwoPhaseBufferFirst(context.Background(), c2, map[string]int{"bab": 3}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,11 +176,11 @@ func TestBufferFirstRejectsBadCaps(t *testing.T) {
 func TestJointNeverWorseThanTwoPhase(t *testing.T) {
 	for seed := int64(0); seed < 6; seed++ {
 		c := gen.RandomJobs(gen.RandomOptions{Seed: seed})
-		joint, err := Solve(c, Options{})
+		joint, err := Solve(context.Background(), c, Options{})
 		if err != nil || joint.Status != StatusOptimal {
 			t.Fatalf("seed %d: joint failed: %v %v", seed, joint.Status, err)
 		}
-		bf, err := TwoPhaseBudgetFirst(c, BudgetMinimalRate, Options{})
+		bf, err := TwoPhaseBudgetFirst(context.Background(), c, BudgetMinimalRate, Options{})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -197,13 +198,13 @@ func TestJointNeverWorseThanTwoPhase(t *testing.T) {
 func TestBaselineErrors(t *testing.T) {
 	bad := gen.PaperT1(0)
 	bad.Graphs = nil
-	if _, err := TwoPhaseBudgetFirst(bad, BudgetMinimalRate, Options{}); err == nil {
+	if _, err := TwoPhaseBudgetFirst(context.Background(), bad, BudgetMinimalRate, Options{}); err == nil {
 		t.Fatal("invalid config accepted")
 	}
-	if _, err := TwoPhaseBufferFirst(bad, nil, Options{}); err == nil {
+	if _, err := TwoPhaseBufferFirst(context.Background(), bad, nil, Options{}); err == nil {
 		t.Fatal("invalid config accepted (buffer first)")
 	}
-	if _, err := TwoPhaseBudgetFirst(gen.PaperT1(0), BudgetPolicy(9), Options{}); err == nil {
+	if _, err := TwoPhaseBudgetFirst(context.Background(), gen.PaperT1(0), BudgetPolicy(9), Options{}); err == nil {
 		t.Fatal("unknown policy accepted")
 	}
 	_ = taskgraph.DefaultGranularity

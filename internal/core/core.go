@@ -38,6 +38,9 @@ const (
 	StatusInfeasible
 	// StatusError: the solver failed numerically or verification failed.
 	StatusError
+	// StatusCanceled: the caller's context was canceled or its deadline
+	// expired before the solve finished.
+	StatusCanceled
 )
 
 // String implements fmt.Stringer.
@@ -49,6 +52,8 @@ func (s Status) String() string {
 		return "infeasible"
 	case StatusError:
 		return "error"
+	case StatusCanceled:
+		return "canceled"
 	default:
 		return fmt.Sprintf("Status(%d)", int(s))
 	}
@@ -83,6 +88,11 @@ type Result struct {
 
 	SolverStatus     socp.Status
 	SolverIterations int
+
+	// Report records every solver attempt the recovery ladder made for this
+	// result, including the final backend (nil for flows that never reach
+	// the cone solver, e.g. an infeasible budget-first phase 1).
+	Report *SolveReport
 
 	// Verification holds the independent feasibility check of the rounded
 	// mapping (nil when SkipVerification is set or no mapping was produced).

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -22,7 +23,7 @@ func almostEqual(a, b, tol float64) bool {
 
 func solveOK(t *testing.T, c *taskgraph.Config) *Result {
 	t.Helper()
-	r, err := Solve(c, Options{})
+	r, err := Solve(context.Background(), c, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +39,7 @@ func solveOK(t *testing.T, c *taskgraph.Config) *Result {
 // TestFig2aBudgets reproduces the exact trade-off curve of Figure 2(a).
 func TestFig2aBudgets(t *testing.T) {
 	caps := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
-	points, err := SweepBufferCaps(gen.PaperT1(0), nil, caps, Options{})
+	points, err := SweepBufferCaps(context.Background(), gen.PaperT1(0), nil, caps, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestFig2aBudgets(t *testing.T) {
 // its derivative (Fig 2(b)) is positive and decreasing.
 func TestFig2aMonotone(t *testing.T) {
 	caps := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
-	points, err := SweepBufferCaps(gen.PaperT1(0), nil, caps, Options{})
+	points, err := SweepBufferCaps(context.Background(), gen.PaperT1(0), nil, caps, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestFig3TopologyDependence(t *testing.T) {
 func TestSolveInfeasibleRate(t *testing.T) {
 	c := gen.PaperT1(0)
 	c.Graphs[0].Period = 0.5 // χ = 1 > 0.5: unreachable even with β = ϱ
-	r, err := Solve(c, Options{})
+	r, err := Solve(context.Background(), c, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestSolveInfeasibleCap(t *testing.T) {
 	c.Graphs[0].Tasks[1].Processor = "p1"
 	// Now βa + βb ≤ 40, each ≥ 40/4.2 ≈ 9.52, cycle needs
 	// 80 − (βa+βb) + 40/βa + 40/βb ≤ 4.2 → even βa+βb = 40 gives ≥ 44 > 4.2.
-	r, err := Solve(c, Options{})
+	r, err := Solve(context.Background(), c, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +246,7 @@ func TestSolveSharedProcessors(t *testing.T) {
 func TestSolveRandomJobsVerified(t *testing.T) {
 	for seed := int64(0); seed < 10; seed++ {
 		c := gen.RandomJobs(gen.RandomOptions{Seed: seed})
-		r, err := Solve(c, Options{})
+		r, err := Solve(context.Background(), c, Options{})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -293,22 +294,22 @@ func TestStatusString(t *testing.T) {
 }
 
 func TestSweepErrors(t *testing.T) {
-	if _, err := SweepBufferCaps(gen.PaperT1(0), nil, []int{0}, Options{}); err == nil {
+	if _, err := SweepBufferCaps(context.Background(), gen.PaperT1(0), nil, []int{0}, Options{}); err == nil {
 		t.Fatal("cap 0 accepted")
 	}
-	if _, err := SweepBufferCaps(gen.PaperT1(0), []string{"nope"}, []int{1}, Options{}); err == nil {
+	if _, err := SweepBufferCaps(context.Background(), gen.PaperT1(0), []string{"nope"}, []int{1}, Options{}); err == nil {
 		t.Fatal("unknown buffer accepted")
 	}
 	bad := gen.PaperT1(0)
 	bad.Graphs = nil
-	if _, err := SweepBufferCaps(bad, nil, []int{1}, Options{}); err == nil {
+	if _, err := SweepBufferCaps(context.Background(), bad, nil, []int{1}, Options{}); err == nil {
 		t.Fatal("invalid config accepted")
 	}
 }
 
 func TestSweepDoesNotMutateInput(t *testing.T) {
 	c := gen.PaperT1(0)
-	if _, err := SweepBufferCaps(c, nil, []int{3}, Options{}); err != nil {
+	if _, err := SweepBufferCaps(context.Background(), c, nil, []int{3}, Options{}); err != nil {
 		t.Fatal(err)
 	}
 	if c.Graphs[0].Buffers[0].MaxContainers != 0 {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/dfmodel"
@@ -50,7 +51,7 @@ func TestLatencyConstraintInfeasible(t *testing.T) {
 	c.Graphs[0].Latencies = []taskgraph.LatencyConstraint{
 		{From: "wa", To: "wb", Bound: 0.5},
 	}
-	r, err := Solve(c, Options{})
+	r, err := Solve(context.Background(), c, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -26,7 +27,11 @@ type ParetoPoint struct {
 // between 1e-3 and 1e3, solves each, and returns the nondominated points
 // ordered by increasing budget total. Per-task and per-buffer weight
 // preferences from the configuration are preserved as relative factors.
-func ParetoFrontier(c *taskgraph.Config, steps int, opt Options) ([]ParetoPoint, error) {
+//
+// Canceling the context stops the sweep promptly; the frontier of the
+// points that did complete is still returned alongside the aggregated
+// error, so a deadline-bounded exploration keeps what it paid for.
+func ParetoFrontier(ctx context.Context, c *taskgraph.Config, steps int, opt Options) ([]ParetoPoint, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
@@ -57,7 +62,7 @@ func ParetoFrontier(c *taskgraph.Config, steps int, opt Options) ([]ParetoPoint,
 	// The per-ratio solves are independent; run them on the bounded worker
 	// pool. Ordering stays deterministic because RunSweep returns results in
 	// input order and the non-optimal filter below preserves it.
-	solved, err := RunSweep(steps, opt.Parallelism, func(i int) (ParetoPoint, error) {
+	solved, sweepErr := RunSweep(ctx, steps, opt.Parallelism, func(ctx context.Context, i int) (ParetoPoint, error) {
 		// ratio from 1e-3 to 1e+3 in log space.
 		exp := -3 + 6*float64(i)/float64(steps-1)
 		ratio := math.Pow(10, exp)
@@ -70,7 +75,7 @@ func ParetoFrontier(c *taskgraph.Config, steps int, opt Options) ([]ParetoPoint,
 				tg.Buffers[j].SizeWeight = tg.Buffers[j].EffectiveSizeWeight() / bufferMean
 			}
 		}
-		r, err := Solve(cc, opt)
+		r, err := Solve(ctx, cc, opt)
 		if err != nil {
 			return ParetoPoint{}, err
 		}
@@ -92,16 +97,15 @@ func ParetoFrontier(c *taskgraph.Config, steps int, opt Options) ([]ParetoPoint,
 		}
 		return pt, nil
 	})
-	if err != nil {
-		return nil, err
-	}
+	// Surface the frontier of whatever completed even when the sweep was
+	// cut short; skipped points have a nil Result.
 	var points []ParetoPoint
 	for _, pt := range solved {
-		if pt.Result.Status == StatusOptimal {
+		if pt.Result != nil && pt.Result.Status == StatusOptimal {
 			points = append(points, pt)
 		}
 	}
-	return nondominated(points), nil
+	return nondominated(points), sweepErr
 }
 
 // nondominated filters to the Pareto-optimal points and sorts by budget.

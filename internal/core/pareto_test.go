@@ -1,13 +1,14 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/gen"
 )
 
 func TestParetoFrontierT1(t *testing.T) {
-	points, err := ParetoFrontier(gen.PaperT1(0), 9, Options{})
+	points, err := ParetoFrontier(context.Background(), gen.PaperT1(0), 9, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestParetoFrontierT1(t *testing.T) {
 func TestParetoFrontierInvalid(t *testing.T) {
 	bad := gen.PaperT1(0)
 	bad.Graphs = nil
-	if _, err := ParetoFrontier(bad, 4, Options{}); err == nil {
+	if _, err := ParetoFrontier(context.Background(), bad, 4, Options{}); err == nil {
 		t.Fatal("invalid config accepted")
 	}
 }
@@ -52,7 +53,7 @@ func TestParetoFrontierInvalid(t *testing.T) {
 func TestParetoInfeasibleSkipped(t *testing.T) {
 	c := gen.PaperT1(0)
 	c.Graphs[0].Period = 0.5 // infeasible at any weights
-	points, err := ParetoFrontier(c, 4, Options{})
+	points, err := ParetoFrontier(context.Background(), c, 4, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

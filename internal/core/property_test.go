@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -16,7 +17,7 @@ import (
 func TestPeriodMonotonicity(t *testing.T) {
 	f := func(seed int64) bool {
 		c := gen.RandomJobs(gen.RandomOptions{Seed: seed % 1000})
-		base, err := Solve(c, Options{})
+		base, err := Solve(context.Background(), c, Options{})
 		if err != nil || base.Status == StatusError {
 			return false
 		}
@@ -24,7 +25,7 @@ func TestPeriodMonotonicity(t *testing.T) {
 		for _, tg := range relaxed.Graphs {
 			tg.Period *= 1.5
 		}
-		rel, err := Solve(relaxed, Options{})
+		rel, err := Solve(context.Background(), relaxed, Options{})
 		if err != nil || rel.Status == StatusError {
 			return false
 		}
@@ -55,7 +56,7 @@ func TestMemoryMonotonicity(t *testing.T) {
 		for i := range c.Memories {
 			c.Memories[i].Capacity = 64
 		}
-		base, err := Solve(c, Options{})
+		base, err := Solve(context.Background(), c, Options{})
 		if err != nil {
 			return false
 		}
@@ -66,7 +67,7 @@ func TestMemoryMonotonicity(t *testing.T) {
 		for i := range bigger.Memories {
 			bigger.Memories[i].Capacity *= 4
 		}
-		big, err := Solve(bigger, Options{})
+		big, err := Solve(context.Background(), bigger, Options{})
 		if err != nil || big.Status == StatusError {
 			return false
 		}
@@ -87,7 +88,7 @@ func TestMemoryMonotonicity(t *testing.T) {
 // the objective by that constant but not the mapping.
 func TestWeightScaleInvariance(t *testing.T) {
 	c := gen.PaperT1(4)
-	base, err := Solve(c, Options{})
+	base, err := Solve(context.Background(), c, Options{})
 	if err != nil || base.Status != StatusOptimal {
 		t.Fatalf("%v %v", base.Status, err)
 	}
@@ -101,7 +102,7 @@ func TestWeightScaleInvariance(t *testing.T) {
 			tg.Buffers[i].SizeWeight = tg.Buffers[i].EffectiveSizeWeight() * k
 		}
 	}
-	sc, err := Solve(scaled, Options{})
+	sc, err := Solve(context.Background(), scaled, Options{})
 	if err != nil || sc.Status != StatusOptimal {
 		t.Fatalf("%v %v", sc.Status, err)
 	}
@@ -126,12 +127,12 @@ func TestCapMonotonicity(t *testing.T) {
 	f := func(seed int64, rawCap uint8) bool {
 		cap := 1 + int(rawCap%9)
 		c := gen.PaperT1(cap)
-		tight, err := Solve(c, Options{})
+		tight, err := Solve(context.Background(), c, Options{})
 		if err != nil || tight.Status != StatusOptimal {
 			return false
 		}
 		c2 := gen.PaperT1(cap + 1)
-		wide, err := Solve(c2, Options{})
+		wide, err := Solve(context.Background(), c2, Options{})
 		if err != nil || wide.Status != StatusOptimal {
 			return false
 		}
@@ -148,7 +149,7 @@ func TestCapMonotonicity(t *testing.T) {
 func TestRoundingAlwaysConservative(t *testing.T) {
 	for seed := int64(20); seed < 35; seed++ {
 		c := gen.RandomJobs(gen.RandomOptions{Seed: seed})
-		r, err := Solve(c, Options{})
+		r, err := Solve(context.Background(), c, Options{})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}

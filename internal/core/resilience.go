@@ -1,0 +1,142 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/socp"
+)
+
+// The recovery ladder: a numerically degenerate instance that breaks the
+// default sparse KKT pipeline is retried with progressively more
+// conservative solver configurations before the failure is surfaced —
+// escalated static regularization first (the cheap fix that rescues most
+// near-singular scalings, cf. ECOS's delta-regularization), then the dense
+// factorization of the sparsely assembled KKT system, then the all-dense
+// oracle path. Every attempt is recorded in a SolveReport so operators can
+// see which rung rescued a solve and how much it cost.
+
+// kktRegEscalation multiplies the effective static regularization on the
+// first retry (1e-13 default → 1e-9, the same order CVXOPT-style solvers
+// use when a KKT system is found near-singular).
+const kktRegEscalation = 1e4
+
+// SolveAttempt records one rung of the recovery ladder.
+type SolveAttempt struct {
+	// Backend names the KKT configuration: "sparse" (simplicial LDLᵀ),
+	// "dense-factor" (sparse assembly, dense factorization), or
+	// "dense-kkt" (the all-dense oracle).
+	Backend string
+	// KKTReg is the static regularization requested from the solver
+	// (0 means the solver default).
+	KKTReg float64
+	// Status is the solver's outcome for this attempt.
+	Status socp.Status
+	// Err carries a hard solver error ("" when the solver returned a
+	// status, which is the common case).
+	Err string
+	// Iterations is the interior-point iteration count of the attempt.
+	Iterations int
+	// Duration is the attempt's wall-clock solve time. It is reporting
+	// only: no retry or fallback decision depends on it.
+	Duration time.Duration
+}
+
+// SolveReport is the structured record of a conic solve and its recovery
+// attempts, attached to every Result.
+type SolveReport struct {
+	// Attempts lists every solver invocation in the order tried; the last
+	// entry is the one whose outcome the Result reflects.
+	Attempts []SolveAttempt
+	// FinalBackend is the backend of the last attempt.
+	FinalBackend string
+	// Recovered reports that the solve needed the ladder: at least one
+	// attempt failed numerically and a later, more conservative attempt
+	// did not.
+	Recovered bool
+}
+
+// backendName names the KKT configuration an Options selects.
+func backendName(opt socp.Options) string {
+	switch {
+	case opt.DenseKKT:
+		return "dense-kkt"
+	case opt.Factorization == socp.FactorDense:
+		return "dense-factor"
+	default:
+		return "sparse"
+	}
+}
+
+// ladder returns the solver configurations to try in order: the caller's
+// own options first (so unfaulted solves are bit-identical to a direct
+// socp.Solve), then escalated regularization on the same backend, then the
+// dense factorization, then the all-dense oracle — skipping rungs the
+// starting configuration already is at or past.
+func ladder(opt socp.Options) []socp.Options {
+	steps := []socp.Options{opt}
+	esc := opt
+	if esc.KKTReg == 0 {
+		esc.KKTReg = 1e-13 // the solver's own default, made explicit to scale
+	}
+	esc.KKTReg *= kktRegEscalation
+	steps = append(steps, esc)
+	if !opt.DenseKKT && opt.Factorization != socp.FactorDense {
+		df := esc
+		df.Factorization = socp.FactorDense
+		steps = append(steps, df)
+	}
+	if !opt.DenseKKT {
+		dk := esc
+		dk.DenseKKT = true
+		steps = append(steps, dk)
+	}
+	return steps
+}
+
+// numericalFailure reports whether an attempt's outcome is the class of
+// failure the ladder can recover from. Hard validation errors (nil
+// solution), infeasibility certificates, iteration limits, and cancellation
+// are all terminal: retrying with a different factorization cannot change
+// them.
+func numericalFailure(sol *socp.Solution, err error) bool {
+	return sol != nil && sol.Status == socp.StatusNumericalError
+}
+
+// solveConic runs the cone program through the recovery ladder and reports
+// every attempt. The returned solution and error are those of the last
+// attempt made; the report is never nil.
+func solveConic(ctx context.Context, prob *socp.Problem, opt socp.Options) (*socp.Solution, *SolveReport, error) {
+	report := &SolveReport{}
+	var sol *socp.Solution
+	var err error
+	for k, aopt := range ladder(opt) {
+		if k > 0 && ctx.Err() != nil {
+			// Canceled between rungs: stop retrying, keep the report of the
+			// attempts that did run. The last attempt's solution (a
+			// numerical failure) stands.
+			break
+		}
+		start := time.Now()
+		sol, err = socp.SolveContext(ctx, prob, aopt)
+		a := SolveAttempt{
+			Backend:  backendName(aopt),
+			KKTReg:   aopt.KKTReg,
+			Duration: time.Since(start),
+		}
+		if sol != nil {
+			a.Status = sol.Status
+			a.Iterations = sol.Iterations
+		}
+		if err != nil {
+			a.Err = err.Error()
+		}
+		report.Attempts = append(report.Attempts, a)
+		report.FinalBackend = a.Backend
+		if !numericalFailure(sol, err) {
+			report.Recovered = k > 0
+			return sol, report, err
+		}
+	}
+	return sol, report, err
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -27,7 +28,14 @@ func BuildProblem(c *taskgraph.Config) (*socp.Problem, error) {
 
 // Solve computes budgets and buffer capacities for every task graph in the
 // configuration simultaneously (Algorithm 1) and verifies the result.
-func Solve(c *taskgraph.Config, opt Options) (*Result, error) {
+//
+// The context bounds the solve: cancellation or deadline expiry is observed
+// once per interior-point iteration and surfaces as StatusCanceled. A solve
+// that fails numerically is retried through the recovery ladder (escalated
+// regularization, then dense factorization, then the all-dense oracle);
+// every attempt is recorded in Result.Report. On instances that do not need
+// recovery, the result is identical to a single direct solver call.
+func Solve(ctx context.Context, c *taskgraph.Config, opt Options) (*Result, error) {
 	m, err := buildModel(c, nil)
 	if err != nil {
 		return nil, err
@@ -36,19 +44,26 @@ func Solve(c *taskgraph.Config, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	sol, err := socp.Solve(prob, opt.Solver)
+	sol, report, err := solveConic(ctx, prob, opt.Solver)
+	res := &Result{Report: report}
 	if err != nil {
-		return nil, err
+		res.Status = StatusError
+		if sol != nil {
+			res.SolverStatus = sol.Status
+			res.SolverIterations = sol.Iterations
+		}
+		return res, err
 	}
-	res := &Result{
-		SolverStatus:     sol.Status,
-		SolverIterations: sol.Iterations,
-	}
+	res.SolverStatus = sol.Status
+	res.SolverIterations = sol.Iterations
 	switch sol.Status {
 	case socp.StatusOptimal:
 		// proceed
 	case socp.StatusPrimalInfeasible:
 		res.Status = StatusInfeasible
+		return res, nil
+	case socp.StatusCanceled:
+		res.Status = StatusCanceled
 		return res, nil
 	default:
 		res.Status = StatusError

@@ -1,10 +1,43 @@
 package core
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/faultinject"
 )
+
+// JobError wraps the failure of one sweep job with the index it ran as, so
+// an aggregated sweep error still identifies which points failed.
+type JobError struct {
+	Index int
+	Err   error
+}
+
+// Error implements error.
+func (e *JobError) Error() string { return fmt.Sprintf("sweep job %d: %v", e.Index, e.Err) }
+
+// Unwrap exposes the job's underlying error to errors.Is/As.
+func (e *JobError) Unwrap() error { return e.Err }
+
+// JobPanicError is a sweep job's panic converted to an indexed error: the
+// worker pool recovers the panic, captures the goroutine stack, and keeps
+// running the other jobs instead of crashing the whole sweep.
+type JobPanicError struct {
+	Index int
+	Value any    // the recovered panic value
+	Stack []byte // the panicking goroutine's stack at recovery
+}
+
+// Error implements error.
+func (e *JobPanicError) Error() string {
+	return fmt.Sprintf("sweep job %d panicked: %v", e.Index, e.Value)
+}
 
 // RunSweep runs n independent jobs on a bounded worker pool and returns
 // their results in input order. Every reproduced experiment of the paper is
@@ -14,14 +47,25 @@ import (
 //
 // parallelism bounds the number of concurrently running jobs; values ≤ 0
 // select GOMAXPROCS. Output ordering is deterministic regardless of
-// scheduling: result i is always fn(i)'s value, and when jobs fail the
-// lowest-index error is returned (exactly what a sequential loop would
-// report first). fn must be safe for concurrent invocation when parallelism
-// exceeds 1; with parallelism 1 the jobs run sequentially on the calling
-// goroutine.
-func RunSweep[T any](n, parallelism int, fn func(i int) (T, error)) ([]T, error) {
+// scheduling: result i is always fn(i)'s value. fn must be safe for
+// concurrent invocation when parallelism exceeds 1; with parallelism 1 the
+// jobs run sequentially on the calling goroutine.
+//
+// Failure semantics: every job runs to completion even when earlier jobs
+// fail, and the returned error aggregates all job failures with errors.Join
+// in index order (each wrapped as a *JobError, panics as *JobPanicError).
+// A panicking job fails only its own index. Canceling the context stops
+// dispatching new jobs — in-flight jobs observe the same context through
+// their fn argument — and the context's error joins the aggregate. The
+// results slice is always returned: on error or cancellation it holds the
+// completed jobs' values at their indices (partial results are surfaced,
+// not discarded), with failed or skipped indices left at the zero value.
+func RunSweep[T any](ctx context.Context, n, parallelism int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
@@ -30,37 +74,52 @@ func RunSweep[T any](n, parallelism int, fn func(i int) (T, error)) ([]T, error)
 		parallelism = n
 	}
 	results := make([]T, n)
-	if parallelism == 1 {
-		for i := 0; i < n; i++ {
-			r, err := fn(i)
-			if err != nil {
-				return nil, err
-			}
-			results[i] = r
-		}
-		return results, nil
-	}
 	errs := make([]error, n)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(parallelism)
-	for w := 0; w < parallelism; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				results[i], errs[i] = fn(i)
+	runJob := func(i int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = &JobPanicError{Index: i, Value: r, Stack: debug.Stack()}
 			}
 		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+		if faultinject.Enabled() {
+			if ferr := faultinject.Hit(faultinject.SiteSweepJob(i)); ferr != nil {
+				return &JobError{Index: i, Err: ferr}
+			}
 		}
+		r, ferr := fn(ctx, i)
+		if ferr != nil {
+			return &JobError{Index: i, Err: ferr}
+		}
+		results[i] = r
+		return nil
 	}
-	return results, nil
+	if parallelism == 1 {
+		for i := 0; i < n && ctx.Err() == nil; i++ {
+			errs[i] = runJob(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(parallelism)
+		for w := 0; w < parallelism; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n || ctx.Err() != nil {
+						return
+					}
+					errs[i] = runJob(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	// errors.Join drops nil entries and returns nil when every job (and the
+	// context) is clean; joining in index order keeps the aggregate message
+	// deterministic.
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		errs = append([]error{ctxErr}, errs...)
+	}
+	return results, errors.Join(errs...)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -22,7 +23,11 @@ type TradeoffPoint struct {
 // buffers is nil). The input configuration is not modified. The per-cap
 // solves are independent and run on a worker pool bounded by
 // Options.Parallelism, with deterministic output ordering.
-func SweepBufferCaps(c *taskgraph.Config, buffers []string, caps []int, opt Options) ([]TradeoffPoint, error) {
+//
+// Canceling the context stops the sweep promptly; the completed points are
+// still returned (unfinished points have a nil Result) together with the
+// aggregated error from RunSweep.
+func SweepBufferCaps(ctx context.Context, c *taskgraph.Config, buffers []string, caps []int, opt Options) ([]TradeoffPoint, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
@@ -50,7 +55,7 @@ func SweepBufferCaps(c *taskgraph.Config, buffers []string, caps []int, opt Opti
 			return nil, fmt.Errorf("core: swept buffer %q not found in configuration", b)
 		}
 	}
-	return RunSweep(len(caps), opt.Parallelism, func(i int) (TradeoffPoint, error) {
+	return RunSweep(ctx, len(caps), opt.Parallelism, func(ctx context.Context, i int) (TradeoffPoint, error) {
 		cc := c.Clone()
 		for _, tg := range cc.Graphs {
 			for j := range tg.Buffers {
@@ -59,7 +64,7 @@ func SweepBufferCaps(c *taskgraph.Config, buffers []string, caps []int, opt Opti
 				}
 			}
 		}
-		r, err := Solve(cc, opt)
+		r, err := Solve(ctx, cc, opt)
 		if err != nil {
 			return TradeoffPoint{}, err
 		}

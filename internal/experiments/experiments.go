@@ -20,6 +20,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -48,9 +49,9 @@ type Fig2Point struct {
 // from 1 to 10 containers and returns the budget trade-off curve. The ten
 // solves are independent and run on the worker pool selected by
 // opt.Parallelism (via core.SweepBufferCaps).
-func Fig2(opt core.Options) ([]Fig2Point, error) {
+func Fig2(ctx context.Context, opt core.Options) ([]Fig2Point, error) {
 	caps := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
-	points, err := core.SweepBufferCaps(gen.PaperT1(0), nil, caps, opt)
+	points, err := core.SweepBufferCaps(ctx, gen.PaperT1(0), nil, caps, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -119,9 +120,9 @@ type Fig3Point struct {
 // optimizer distributes the budget reduction: wb interacts with two buffers,
 // so wa and wc are reduced first. Like Fig2, the sweep runs on the
 // opt.Parallelism worker pool.
-func Fig3(opt core.Options) ([]Fig3Point, error) {
+func Fig3(ctx context.Context, opt core.Options) ([]Fig3Point, error) {
 	caps := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
-	points, err := core.SweepBufferCaps(gen.PaperT2(0), nil, caps, opt)
+	points, err := core.SweepBufferCaps(ctx, gen.PaperT2(0), nil, caps, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -173,7 +174,7 @@ type RuntimeRow struct {
 // run on the worker pool selected by opt.Parallelism; each row's time is the
 // wall clock of its own solve, so on a contended machine set Parallelism to
 // 1 for the cleanest per-instance numbers.
-func Runtime(opt core.Options) ([]RuntimeRow, error) {
+func Runtime(ctx context.Context, opt core.Options) ([]RuntimeRow, error) {
 	instances := []struct {
 		name string
 		cap  int
@@ -186,14 +187,14 @@ func Runtime(opt core.Options) ([]RuntimeRow, error) {
 		{"T2 cap=5", 5, true},
 		{"T2 cap=10", 10, true},
 	}
-	return core.RunSweep(len(instances), opt.Parallelism, func(i int) (RuntimeRow, error) {
+	return core.RunSweep(ctx, len(instances), opt.Parallelism, func(ctx context.Context, i int) (RuntimeRow, error) {
 		inst := instances[i]
 		cfg := gen.PaperT1(inst.cap)
 		if inst.t2 {
 			cfg = gen.PaperT2(inst.cap)
 		}
 		start := time.Now()
-		r, err := core.Solve(cfg, opt)
+		r, err := core.Solve(ctx, cfg, opt)
 		elapsed := time.Since(start)
 		if err != nil {
 			return RuntimeRow{}, err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -15,7 +16,7 @@ func paperFig2a(d int) float64 {
 }
 
 func TestFig2MatchesPaperCurve(t *testing.T) {
-	points, err := Fig2(core.Options{})
+	points, err := Fig2(context.Background(), core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func TestFig2MatchesPaperCurve(t *testing.T) {
 }
 
 func TestFig2Render(t *testing.T) {
-	points, err := Fig2(core.Options{})
+	points, err := Fig2(context.Background(), core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestFig2Render(t *testing.T) {
 }
 
 func TestFig3ShapeMatchesPaper(t *testing.T) {
-	points, err := Fig3(core.Options{})
+	points, err := Fig3(context.Background(), core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestFig3ShapeMatchesPaper(t *testing.T) {
 }
 
 func TestFig3Render(t *testing.T) {
-	points, err := Fig3(core.Options{})
+	points, err := Fig3(context.Background(), core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestFig3Render(t *testing.T) {
 }
 
 func TestRuntimeMilliseconds(t *testing.T) {
-	rows, err := Runtime(core.Options{})
+	rows, err := Runtime(context.Background(), core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestRuntimeMilliseconds(t *testing.T) {
 }
 
 func TestScalability(t *testing.T) {
-	points, err := Scalability([]int{2, 4, 8}, core.Options{})
+	points, err := Scalability(context.Background(), []int{2, 4, 8}, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,7 @@ func TestScalability(t *testing.T) {
 }
 
 func TestJointVsTwoPhase(t *testing.T) {
-	rows, err := JointVsTwoPhase(core.Options{})
+	rows, err := JointVsTwoPhase(context.Background(), core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestJointVsTwoPhase(t *testing.T) {
 }
 
 func TestLatencyTradeoff(t *testing.T) {
-	points, err := LatencyTradeoff(core.Options{})
+	points, err := LatencyTradeoff(context.Background(), core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +224,7 @@ func TestLatencyTradeoff(t *testing.T) {
 }
 
 func TestAblationRounding(t *testing.T) {
-	rows, err := AblationRounding(core.Options{})
+	rows, err := AblationRounding(context.Background(), core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -24,12 +25,12 @@ type ScalabilityPoint struct {
 // Scalability solves chains of increasing length and reports solve time and
 // interior-point iteration counts, supporting the paper's
 // polynomial-complexity claim.
-func Scalability(sizes []int, opt core.Options) ([]ScalabilityPoint, error) {
+func Scalability(ctx context.Context, sizes []int, opt core.Options) ([]ScalabilityPoint, error) {
 	var out []ScalabilityPoint
 	for _, n := range sizes {
 		cfg := gen.Chain(gen.ChainOptions{Tasks: n})
 		start := time.Now()
-		r, err := core.Solve(cfg, opt)
+		r, err := core.Solve(ctx, cfg, opt)
 		elapsed := time.Since(start)
 		if err != nil {
 			return nil, err
@@ -72,7 +73,7 @@ type CompareRow struct {
 
 // JointVsTwoPhase runs the three flows on instances designed to expose the
 // phase-ordering problem plus random multi-job systems.
-func JointVsTwoPhase(opt core.Options) ([]CompareRow, error) {
+func JointVsTwoPhase(ctx context.Context, opt core.Options) ([]CompareRow, error) {
 	type instance struct {
 		name string
 		cfg  *taskgraph.Config
@@ -95,7 +96,7 @@ func JointVsTwoPhase(opt core.Options) ([]CompareRow, error) {
 	for _, inst := range instances {
 		row := CompareRow{Instance: inst.name,
 			JointObj: math.NaN(), BudgetFirstObj: math.NaN(), BufferFirstObj: math.NaN()}
-		j, err := core.Solve(inst.cfg, opt)
+		j, err := core.Solve(ctx, inst.cfg, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -103,7 +104,7 @@ func JointVsTwoPhase(opt core.Options) ([]CompareRow, error) {
 		if j.Mapping != nil {
 			row.JointObj = j.Mapping.Objective
 		}
-		bf, err := core.TwoPhaseBudgetFirst(inst.cfg, core.BudgetMinimalRate, opt)
+		bf, err := core.TwoPhaseBudgetFirst(ctx, inst.cfg, core.BudgetMinimalRate, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -128,7 +129,7 @@ func JointVsTwoPhase(opt core.Options) ([]CompareRow, error) {
 				}
 			}
 		}
-		bff, err := core.TwoPhaseBufferFirst(inst.cfg, caps, opt)
+		bff, err := core.TwoPhaseBufferFirst(ctx, inst.cfg, caps, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -167,12 +168,12 @@ type AblationRow struct {
 
 // AblationRounding quantifies the paper's "cost of potential sub-optimality"
 // from the non-integral approximations, on T1 with granularity 1 Mcycle.
-func AblationRounding(opt core.Options) ([]AblationRow, error) {
+func AblationRounding(ctx context.Context, opt core.Options) ([]AblationRow, error) {
 	var rows []AblationRow
 	for _, cap := range []int{1, 2, 4, 6, 8, 10} {
 		cfg := gen.PaperT1(cap)
 		cfg.Granularity = 1 // 1 Mcycle lattice
-		r, err := core.Solve(cfg, opt)
+		r, err := core.Solve(ctx, cfg, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -244,7 +245,7 @@ type LatencyPoint struct {
 // LatencyTradeoff sweeps an end-to-end latency bound on the paper's T1 and
 // records how budgets must grow as the bound tightens: the latency/budget
 // analogue of Figure 2's throughput/buffer trade-off.
-func LatencyTradeoff(opt core.Options) ([]LatencyPoint, error) {
+func LatencyTradeoff(ctx context.Context, opt core.Options) ([]LatencyPoint, error) {
 	// The physical floor is two processing stages at full budget,
 	// 2·ϱχ/ϱ = 2 Mcycles; bounds below it are infeasible.
 	bounds := []float64{120, 100, 80, 60, 40, 30, 20, 10, 5, 3, 1.5}
@@ -254,7 +255,7 @@ func LatencyTradeoff(opt core.Options) ([]LatencyPoint, error) {
 		cfg.Graphs[0].Latencies = []taskgraph.LatencyConstraint{
 			{From: "wa", To: "wb", Bound: bound},
 		}
-		r, err := core.Solve(cfg, opt)
+		r, err := core.Solve(ctx, cfg, opt)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -11,11 +12,11 @@ import (
 // sequentially or on a worker pool.
 
 func TestFig2ParallelDeterminism(t *testing.T) {
-	seq, err := Fig2(core.Options{Parallelism: 1})
+	seq, err := Fig2(context.Background(), core.Options{Parallelism: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := Fig2(core.Options{Parallelism: 4})
+	par, err := Fig2(context.Background(), core.Options{Parallelism: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,11 +29,11 @@ func TestFig2ParallelDeterminism(t *testing.T) {
 }
 
 func TestFig3ParallelDeterminism(t *testing.T) {
-	seq, err := Fig3(core.Options{Parallelism: 1})
+	seq, err := Fig3(context.Background(), core.Options{Parallelism: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := Fig3(core.Options{Parallelism: 3})
+	par, err := Fig3(context.Background(), core.Options{Parallelism: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,11 +43,11 @@ func TestFig3ParallelDeterminism(t *testing.T) {
 }
 
 func TestRuntimeParallelDeterminism(t *testing.T) {
-	seq, err := Runtime(core.Options{Parallelism: 1})
+	seq, err := Runtime(context.Background(), core.Options{Parallelism: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := Runtime(core.Options{Parallelism: 2})
+	par, err := Runtime(context.Background(), core.Options{Parallelism: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,10 @@
 package linalg
 
-import "math"
+import (
+	"math"
+
+	"repro/internal/faultinject"
+)
 
 // Factorize numerically refactorizes P (A + shift·I) Pᵀ = L D Lᵀ for a
 // matrix a carrying the analyzed pattern, reusing the symbolic structure and
@@ -14,6 +18,11 @@ import "math"
 //bbvet:hotpath
 func (c *SparseCholesky) Factorize(a *SparseMatrix, shift, reg float64) error {
 	c.checkPattern(a)
+	if faultinject.Enabled() {
+		if err := faultinject.Hit(faultinject.SiteSparseLDLT); err != nil {
+			return err
+		}
+	}
 	extra := 0.0
 	for attempt := 0; ; attempt++ {
 		if c.tryFactorize(a, shift+extra, false, 0) {
@@ -40,6 +49,11 @@ func (c *SparseCholesky) Factorize(a *SparseMatrix, shift, reg float64) error {
 //bbvet:hotpath
 func (c *SparseCholesky) FactorizeQuasiDef(a *SparseMatrix, eps float64) error {
 	c.checkPattern(a)
+	if faultinject.Enabled() {
+		if err := faultinject.Hit(faultinject.SiteSparseLDLT); err != nil {
+			return err
+		}
+	}
 	c.shift = 0
 	if !c.tryFactorize(a, 0, true, eps) {
 		return ErrNotPositiveDefinite

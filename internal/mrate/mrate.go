@@ -20,6 +20,7 @@
 package mrate
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -59,7 +60,7 @@ type Result struct {
 // every firing copy at rate-minimal budgets, so ⌈that sum/µ⌉ tokens already
 // relax every PAS constraint a buffer can appear in, and more containers
 // cannot help.
-func Solve(c *taskgraph.Config, opt Options) (*Result, error) {
+func Solve(ctx context.Context, c *taskgraph.Config, opt Options) (*Result, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
@@ -115,7 +116,7 @@ func Solve(c *taskgraph.Config, opt Options) (*Result, error) {
 	for k, v := range upper {
 		caps[k] = v
 	}
-	cur, err := solveBudgets(c, caps, opt.Solver)
+	cur, err := solveBudgets(ctx, c, caps, opt.Solver)
 	if err != nil {
 		return nil, err
 	}
@@ -141,11 +142,18 @@ func Solve(c *taskgraph.Config, opt Options) (*Result, error) {
 					continue
 				}
 				caps[b.Name]--
-				sol, err := solveBudgets(c, caps, opt.Solver)
+				sol, err := solveBudgets(ctx, c, caps, opt.Solver)
 				res.Evaluated++
 				caps[b.Name]++
 				if err != nil {
 					return nil, err
+				}
+				if sol.status == core.StatusCanceled {
+					// Don't keep probing decrements against a dead context;
+					// surface the cancellation (the caller loses only the
+					// not-yet-accepted descent step).
+					res.Status = core.StatusCanceled
+					return res, nil
 				}
 				if sol.status != core.StatusOptimal {
 					continue
@@ -194,7 +202,7 @@ type budgetSolution struct {
 
 // solveBudgets solves the budget-only cone program over the expanded model
 // for fixed buffer capacities.
-func solveBudgets(c *taskgraph.Config, caps map[string]int, sopt socp.Options) (*budgetSolution, error) {
+func solveBudgets(ctx context.Context, c *taskgraph.Config, caps map[string]int, sopt socp.Options) (*budgetSolution, error) {
 	// Memory capacity precheck (constant with fixed caps).
 	for i := range c.Memories {
 		mem := &c.Memories[i]
@@ -325,7 +333,7 @@ func solveBudgets(c *taskgraph.Config, caps map[string]int, sopt socp.Options) (
 	if err != nil {
 		return nil, err
 	}
-	sol, err := socp.Solve(prob, sopt)
+	sol, err := socp.SolveContext(ctx, prob, sopt)
 	if err != nil {
 		return nil, err
 	}
@@ -335,6 +343,9 @@ func solveBudgets(c *taskgraph.Config, caps map[string]int, sopt socp.Options) (
 		out.status = core.StatusOptimal
 	case socp.StatusPrimalInfeasible:
 		out.status = core.StatusInfeasible
+		return out, nil
+	case socp.StatusCanceled:
+		out.status = core.StatusCanceled
 		return out, nil
 	default:
 		out.status = core.StatusError

@@ -1,6 +1,7 @@
 package mrate
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -42,7 +43,7 @@ func downsampler(cap int) *taskgraph.Config {
 }
 
 func TestCoreRejectsMultiRate(t *testing.T) {
-	if _, err := core.Solve(downsampler(4), core.Options{}); err == nil {
+	if _, err := core.Solve(context.Background(), downsampler(4), core.Options{}); err == nil {
 		t.Fatal("core accepted a multi-rate configuration")
 	}
 }
@@ -59,7 +60,7 @@ func TestRepetitionsDownsampler(t *testing.T) {
 }
 
 func TestSolveDownsampler(t *testing.T) {
-	r, err := Solve(downsampler(0), Options{})
+	r, err := Solve(context.Background(), downsampler(0), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,11 +88,11 @@ func TestSolveDownsampler(t *testing.T) {
 func TestSolveSingleRateMatchesCore(t *testing.T) {
 	for _, cap := range []int{1, 4, 10} {
 		cfg := gen.PaperT1(cap)
-		want, err := core.Solve(cfg, core.Options{})
+		want, err := core.Solve(context.Background(), cfg, core.Options{})
 		if err != nil || want.Status != core.StatusOptimal {
 			t.Fatalf("core: %v %v", want.Status, err)
 		}
-		got, err := Solve(cfg, Options{})
+		got, err := Solve(context.Background(), cfg, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -115,7 +116,7 @@ func TestSolveSingleRateMatchesCore(t *testing.T) {
 // TestSolveUncappedSingleRate: without caps the saturation bound must be
 // large enough to reach the true optimum (γ = 10, β = 4 on T1).
 func TestSolveUncappedSingleRate(t *testing.T) {
-	r, err := Solve(gen.PaperT1(0), Options{})
+	r, err := Solve(context.Background(), gen.PaperT1(0), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestSolveUncappedSingleRate(t *testing.T) {
 func TestSolveInfeasible(t *testing.T) {
 	c := downsampler(0)
 	c.Graphs[0].Period = 1 // wb needs 2 firings of 1 Mcycle work per 1 Mcycle
-	r, err := Solve(c, Options{})
+	r, err := Solve(context.Background(), c, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestSolveCapBelowInitialTokens(t *testing.T) {
 	c := downsampler(2)
 	c.Graphs[0].Buffers[0].InitialTokens = 2
 	c.Graphs[0].Buffers[0].MaxContainers = 1 // below ι → rejected by Validate
-	if _, err := Solve(c, Options{}); err == nil {
+	if _, err := Solve(context.Background(), c, Options{}); err == nil {
 		t.Fatal("invalid bounds accepted")
 	}
 }
@@ -156,7 +157,7 @@ func TestSolveCapBelowInitialTokens(t *testing.T) {
 // completes no later than the expanded model's periodic schedule.
 func TestSimulateMultiRateMapping(t *testing.T) {
 	c := downsampler(0)
-	r, err := Solve(c, Options{})
+	r, err := Solve(context.Background(), c, Options{})
 	if err != nil || r.Status != core.StatusOptimal {
 		t.Fatalf("%v %v", r.Status, err)
 	}
@@ -222,7 +223,7 @@ func TestMultiRateChain(t *testing.T) {
 	if reps["src"] != 1 || reps["mid"] != 3 || reps["dst"] != 1 {
 		t.Fatalf("reps = %v", reps)
 	}
-	r, err := Solve(c, Options{})
+	r, err := Solve(context.Background(), c, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +251,7 @@ func TestRandomMultiRateChains(t *testing.T) {
 		if err := c.Validate(); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
-		r, err := Solve(c, Options{})
+		r, err := Solve(context.Background(), c, Options{})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}

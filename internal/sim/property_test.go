@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -102,7 +103,7 @@ func TestSimulationDeterministic(t *testing.T) {
 func TestInitialTokensPipeline(t *testing.T) {
 	c := gen.PaperT1(0)
 	c.Graphs[0].Buffers[0].InitialTokens = 2
-	r, err := core.Solve(c, core.Options{})
+	r, err := core.Solve(context.Background(), c, core.Options{})
 	if err != nil || r.Status != core.StatusOptimal {
 		t.Fatalf("%v %v", r.Status, err)
 	}

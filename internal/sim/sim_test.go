@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -142,7 +143,7 @@ func solveT1(t *testing.T, cap int) (*taskgraph.Config, *taskgraph.Mapping) {
 // any non-optimal outcome.
 func solveConfig(t *testing.T, c *taskgraph.Config) (*taskgraph.Config, *taskgraph.Mapping) {
 	t.Helper()
-	r, err := core.Solve(c, core.Options{})
+	r, err := core.Solve(context.Background(), c, core.Options{})
 	if err != nil || r.Status != core.StatusOptimal {
 		t.Fatalf("solve failed: %v %v", r.Status, err)
 	}
@@ -216,7 +217,7 @@ func TestSimulationMatchesModelBound(t *testing.T) {
 // TestSimulationChain: a longer verified pipeline sustains its throughput.
 func TestSimulationChain(t *testing.T) {
 	c := gen.Chain(gen.ChainOptions{Tasks: 5})
-	r, err := core.Solve(c, core.Options{})
+	r, err := core.Solve(context.Background(), c, core.Options{})
 	if err != nil || r.Status != core.StatusOptimal {
 		t.Fatalf("solve: %v %v", err, r.Status)
 	}
@@ -231,7 +232,7 @@ func TestSimulationChain(t *testing.T) {
 func TestSimulationMultiJob(t *testing.T) {
 	for seed := int64(0); seed < 4; seed++ {
 		c := gen.RandomJobs(gen.RandomOptions{Seed: seed})
-		r, err := core.Solve(c, core.Options{})
+		r, err := core.Solve(context.Background(), c, core.Options{})
 		if err != nil || r.Status != core.StatusOptimal {
 			t.Fatalf("seed %d solve: %v %v", seed, err, r.Status)
 		}

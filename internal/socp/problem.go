@@ -17,6 +17,8 @@ package socp
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"repro/internal/cone"
 	"repro/internal/linalg"
@@ -100,6 +102,10 @@ const (
 	// StatusNumericalError: the linear algebra broke down before reaching
 	// the tolerances.
 	StatusNumericalError
+	// StatusCanceled: the context passed to SolveContext was canceled or
+	// its deadline expired before the solve converged. The solution carries
+	// the last iterate's diagnostics but no usable point.
+	StatusCanceled
 )
 
 // String implements fmt.Stringer.
@@ -115,6 +121,8 @@ func (s Status) String() string {
 		return "max iterations"
 	case StatusNumericalError:
 		return "numerical error"
+	case StatusCanceled:
+		return "canceled"
 	default:
 		return fmt.Sprintf("Status(%d)", int(s))
 	}
@@ -161,8 +169,12 @@ type Options struct {
 	// Cholesky/LDLᵀ — the configuration before the sparse factor existed,
 	// kept for isolating assembly effects from factorization effects.
 	Factorization Factorization
-	// Trace enables per-iteration progress output on stdout (debugging).
+	// Trace enables per-iteration progress output (debugging).
 	Trace bool
+	// TraceOut is the destination of Trace output; nil selects os.Stdout.
+	// Parallel sweeps that trace should hand every solve its own writer so
+	// the per-iteration lines of concurrent solves do not interleave.
+	TraceOut io.Writer
 }
 
 // Factorization selects the KKT factorization backend; see
@@ -211,6 +223,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.KKTReg == 0 {
 		o.KKTReg = 1e-13
+	}
+	if o.Trace && o.TraceOut == nil {
+		o.TraceOut = os.Stdout
 	}
 	return o
 }

@@ -1,11 +1,13 @@
 package socp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/cone"
+	"repro/internal/faultinject"
 	"repro/internal/linalg"
 )
 
@@ -13,6 +15,16 @@ import (
 // infeasible-start Mehrotra predictor-corrector interior-point method with
 // Nesterov-Todd scaling.
 func Solve(p *Problem, opt Options) (*Solution, error) {
+	return SolveContext(context.Background(), p, opt)
+}
+
+// SolveContext is Solve with cancellation: the context is checked once per
+// interior-point iteration, and a canceled context or expired deadline makes
+// the solve return promptly with StatusCanceled (diagnostics of the last
+// iterate filled in, no error). The iterates themselves are unaffected by
+// the context — a solve that runs to completion is bit-identical whether or
+// not a (non-canceled) context was supplied.
+func SolveContext(ctx context.Context, p *Problem, opt Options) (*Solution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -20,7 +32,7 @@ func Solve(p *Problem, opt Options) (*Solution, error) {
 		return nil, errors.New("socp: cone dimension is zero")
 	}
 	sp, unscale := equilibrate(p)
-	s := &state{p: sp, opt: opt.withDefaults()}
+	s := &state{ctx: ctx, p: sp, opt: opt.withDefaults()}
 	sol, err := s.run()
 	unscale(sol)
 	return sol, err
@@ -28,6 +40,7 @@ func Solve(p *Problem, opt Options) (*Solution, error) {
 
 // state carries the iterates and workspace of one solve.
 type state struct {
+	ctx context.Context
 	p   *Problem
 	opt Options
 
@@ -379,6 +392,9 @@ func (f *kktFactor) solveOnce(bx, by, bz, dx, dy, dz linalg.Vector) {
 	rhs := ws.rhs
 	rhs.CopyFrom(bx)
 	st.gMulVecTAdd(rhs, 1, t)
+	if faultinject.Enabled() {
+		faultinject.CorruptNaN(faultinject.SiteKKTRHS, rhs)
+	}
 	if st.pe == 0 {
 		if f.schol != nil {
 			f.schol.SolveRefined(f.hs, rhs, dx)
@@ -436,6 +452,19 @@ func (st *state) run() (*Solution, error) {
 	ws := &st.ws
 
 	for iter := 0; iter <= st.opt.MaxIter; iter++ {
+		// Cancellation is observed once per iteration: deadlines and Ctrl-C
+		// surface as a prompt StatusCanceled (never as a misleading
+		// StatusMaxIterations), and a completed solve is unaffected.
+		if st.ctx != nil && st.ctx.Err() != nil {
+			sol.Status = StatusCanceled
+			return sol, nil
+		}
+		if faultinject.Enabled() {
+			if ferr := faultinject.Hit(faultinject.SiteIPMIteration); ferr != nil {
+				sol.Status = StatusNumericalError
+				return sol, nil
+			}
+		}
 		// Residuals.
 		rx := ws.rx // rx = c + Gᵀz + Aᵀy
 		rx.CopyFrom(p.C)
@@ -466,7 +495,7 @@ func (st *state) run() (*Solution, error) {
 		sol.Iterations = iter
 
 		if st.opt.Trace {
-			fmt.Printf("iter %2d: pcost=%+.6e dcost=%+.6e gap=%.3e pres=%.3e dres=%.3e\n",
+			fmt.Fprintf(st.opt.TraceOut, "iter %2d: pcost=%+.6e dcost=%+.6e gap=%.3e pres=%.3e dres=%.3e\n",
 				iter, pcost, dcost, gap, pres, dres)
 		}
 

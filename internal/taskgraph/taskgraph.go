@@ -16,7 +16,9 @@ package taskgraph
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
+	"sort"
 )
 
 // Processor is a processing element running a budget scheduler (e.g. TDM).
@@ -213,13 +215,30 @@ func (c *Config) BuffersIn(m string) []string {
 	return out
 }
 
+// maxIntField bounds every integer field read from external input
+// (capacities, container sizes, token counts, rates). Products of two such
+// fields stay well inside int64, so downstream arithmetic cannot overflow.
+const maxIntField = 1 << 31
+
+// finite reports whether x is a usable float input (not NaN, not ±Inf).
+// Plain sign comparisons silently accept NaN — every float read from
+// external input must pass through this first.
+func finite(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0)
+}
+
 // Validate checks the configuration for structural and semantic errors.
 func (c *Config) Validate() error {
 	if len(c.Graphs) == 0 {
 		return fmt.Errorf("taskgraph: configuration has no task graphs")
 	}
-	if c.Granularity < 0 {
-		return fmt.Errorf("taskgraph: negative granularity %v", c.Granularity)
+	for i, g := range c.Graphs {
+		if g == nil {
+			return fmt.Errorf("taskgraph: graph %d is null", i)
+		}
+	}
+	if !finite(c.Granularity) || c.Granularity < 0 {
+		return fmt.Errorf("taskgraph: invalid granularity %v", c.Granularity)
 	}
 	procs := map[string]bool{}
 	for _, p := range c.Processors {
@@ -230,10 +249,10 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("taskgraph: duplicate processor %q", p.Name)
 		}
 		procs[p.Name] = true
-		if p.Replenishment <= 0 {
-			return fmt.Errorf("taskgraph: processor %q has non-positive replenishment interval", p.Name)
+		if !finite(p.Replenishment) || p.Replenishment <= 0 {
+			return fmt.Errorf("taskgraph: processor %q has invalid replenishment interval %v", p.Name, p.Replenishment)
 		}
-		if p.Overhead < 0 || p.Overhead >= p.Replenishment {
+		if !finite(p.Overhead) || p.Overhead < 0 || p.Overhead >= p.Replenishment {
 			return fmt.Errorf("taskgraph: processor %q overhead %v outside [0, %v)", p.Name, p.Overhead, p.Replenishment)
 		}
 	}
@@ -246,8 +265,8 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("taskgraph: duplicate memory %q", m.Name)
 		}
 		mems[m.Name] = true
-		if m.Capacity < 0 {
-			return fmt.Errorf("taskgraph: memory %q has negative capacity", m.Name)
+		if m.Capacity < 0 || m.Capacity > maxIntField {
+			return fmt.Errorf("taskgraph: memory %q has capacity %d outside [0, 2^31]", m.Name, m.Capacity)
 		}
 	}
 	graphNames := map[string]bool{}
@@ -260,8 +279,8 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("taskgraph: duplicate task graph %q", g.Name)
 		}
 		graphNames[g.Name] = true
-		if g.Period <= 0 {
-			return fmt.Errorf("taskgraph: graph %q has non-positive period", g.Name)
+		if !finite(g.Period) || g.Period <= 0 {
+			return fmt.Errorf("taskgraph: graph %q has invalid period %v", g.Name, g.Period)
 		}
 		if len(g.Tasks) == 0 {
 			return fmt.Errorf("taskgraph: graph %q has no tasks", g.Name)
@@ -279,11 +298,11 @@ func (c *Config) Validate() error {
 			if !procs[t.Processor] {
 				return fmt.Errorf("taskgraph: task %q references unknown processor %q", t.Name, t.Processor)
 			}
-			if t.WCET <= 0 {
-				return fmt.Errorf("taskgraph: task %q has non-positive WCET", t.Name)
+			if !finite(t.WCET) || t.WCET <= 0 {
+				return fmt.Errorf("taskgraph: task %q has invalid WCET %v", t.Name, t.WCET)
 			}
-			if t.BudgetWeight < 0 {
-				return fmt.Errorf("taskgraph: task %q has negative budget weight", t.Name)
+			if !finite(t.BudgetWeight) || t.BudgetWeight < 0 {
+				return fmt.Errorf("taskgraph: task %q has invalid budget weight %v", t.Name, t.BudgetWeight)
 			}
 			if p, _ := c.Processor(t.Processor); t.WCET > 0 && p != nil {
 				// A task whose WCET exceeds the replenishment interval can
@@ -310,17 +329,18 @@ func (c *Config) Validate() error {
 			if !mems[b.Memory] {
 				return fmt.Errorf("taskgraph: buffer %q references unknown memory %q", b.Name, b.Memory)
 			}
-			if b.ContainerSize < 0 {
-				return fmt.Errorf("taskgraph: buffer %q has negative container size", b.Name)
+			if b.ContainerSize < 0 || b.ContainerSize > maxIntField {
+				return fmt.Errorf("taskgraph: buffer %q has container size %d outside [0, 2^31]", b.Name, b.ContainerSize)
 			}
-			if b.InitialTokens < 0 {
-				return fmt.Errorf("taskgraph: buffer %q has negative initial tokens", b.Name)
+			if b.InitialTokens < 0 || b.InitialTokens > maxIntField {
+				return fmt.Errorf("taskgraph: buffer %q has initial tokens %d outside [0, 2^31]", b.Name, b.InitialTokens)
 			}
-			if b.SizeWeight < 0 {
-				return fmt.Errorf("taskgraph: buffer %q has negative size weight", b.Name)
+			if !finite(b.SizeWeight) || b.SizeWeight < 0 {
+				return fmt.Errorf("taskgraph: buffer %q has invalid size weight %v", b.Name, b.SizeWeight)
 			}
-			if b.MaxContainers < 0 || b.MinContainers < 0 {
-				return fmt.Errorf("taskgraph: buffer %q has negative capacity bound", b.Name)
+			if b.MaxContainers < 0 || b.MinContainers < 0 ||
+				b.MaxContainers > maxIntField || b.MinContainers > maxIntField {
+				return fmt.Errorf("taskgraph: buffer %q has capacity bound outside [0, 2^31]", b.Name)
 			}
 			if b.MaxContainers > 0 && b.MinContainers > b.MaxContainers {
 				return fmt.Errorf("taskgraph: buffer %q has min containers %d above max %d",
@@ -329,8 +349,8 @@ func (c *Config) Validate() error {
 			if b.MaxContainers > 0 && b.InitialTokens > b.MaxContainers {
 				return fmt.Errorf("taskgraph: buffer %q has more initial tokens than max capacity", b.Name)
 			}
-			if b.Prod < 0 || b.Cons < 0 {
-				return fmt.Errorf("taskgraph: buffer %q has negative rates", b.Name)
+			if b.Prod < 0 || b.Cons < 0 || b.Prod > maxIntField || b.Cons > maxIntField {
+				return fmt.Errorf("taskgraph: buffer %q has rates outside [0, 2^31]", b.Name)
 			}
 		}
 		for _, lc := range g.Latencies {
@@ -340,8 +360,8 @@ func (c *Config) Validate() error {
 			if !local[lc.To] {
 				return fmt.Errorf("taskgraph: latency constraint references unknown task %q", lc.To)
 			}
-			if lc.Bound <= 0 {
-				return fmt.Errorf("taskgraph: latency constraint %s→%s has non-positive bound", lc.From, lc.To)
+			if !finite(lc.Bound) || lc.Bound <= 0 {
+				return fmt.Errorf("taskgraph: latency constraint %s→%s has invalid bound %v", lc.From, lc.To, lc.Bound)
 			}
 		}
 	}
@@ -432,17 +452,75 @@ func (m *Mapping) WriteFile(path string) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// ReadMappingFile parses a mapping from a JSON file.
+// Validate rejects mappings whose numbers would poison downstream analysis
+// or simulation: budgets must be finite and non-negative, capacities within
+// [0, 2^31], and the objective finite.
+func (m *Mapping) Validate() error {
+	// Report in sorted-key order so the same bad mapping always names the
+	// same offender.
+	names := make([]string, 0, len(m.Budgets))
+	for name := range m.Budgets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if b := m.Budgets[name]; !finite(b) || b < 0 {
+			return fmt.Errorf("taskgraph: mapping budget for %q is invalid: %v", name, b)
+		}
+	}
+	names = names[:0]
+	for name := range m.Capacities {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if cap := m.Capacities[name]; cap < 0 || cap > maxIntField {
+			return fmt.Errorf("taskgraph: mapping capacity for %q outside [0, 2^31]: %d", name, cap)
+		}
+	}
+	if !finite(m.Objective) {
+		return fmt.Errorf("taskgraph: mapping objective is not finite: %v", m.Objective)
+	}
+	return nil
+}
+
+// ParseMapping parses and validates a mapping from JSON bytes. It never
+// panics, whatever the input.
+func ParseMapping(data []byte) (*Mapping, error) {
+	var m Mapping
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("taskgraph: parse mapping: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// ReadMappingFile parses and validates a mapping from a JSON file.
 func ReadMappingFile(path string) (*Mapping, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	var m Mapping
-	if err := json.Unmarshal(data, &m); err != nil {
-		return nil, fmt.Errorf("taskgraph: parse %s: %w", path, err)
+	m, err := ParseMapping(data)
+	if err != nil {
+		return nil, fmt.Errorf("taskgraph: %s: %w", path, err)
 	}
-	return &m, nil
+	return m, nil
+}
+
+// Parse parses and validates a configuration from JSON bytes. It never
+// panics, whatever the input.
+func Parse(data []byte) (*Config, error) {
+	var c Config
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("taskgraph: parse: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
 }
 
 // ReadFile parses a configuration from a JSON file and validates it.
@@ -451,12 +529,9 @@ func ReadFile(path string) (*Config, error) {
 	if err != nil {
 		return nil, err
 	}
-	var c Config
-	if err := json.Unmarshal(data, &c); err != nil {
-		return nil, fmt.Errorf("taskgraph: parse %s: %w", path, err)
+	c, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("taskgraph: %s: %w", path, err)
 	}
-	if err := c.Validate(); err != nil {
-		return nil, err
-	}
-	return &c, nil
+	return c, nil
 }

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -46,7 +47,7 @@ func TestSystemMatrix(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			var mapping *taskgraph.Mapping
 			if tc.cfg.MultiRate() {
-				r, err := mrate.Solve(tc.cfg, mrate.Options{})
+				r, err := mrate.Solve(context.Background(), tc.cfg, mrate.Options{})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -58,7 +59,7 @@ func TestSystemMatrix(t *testing.T) {
 				}
 				mapping = r.Mapping
 			} else {
-				r, err := core.Solve(tc.cfg, core.Options{})
+				r, err := core.Solve(context.Background(), tc.cfg, core.Options{})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -124,12 +125,12 @@ func TestBaselinesOnMatrix(t *testing.T) {
 		gen.Chain(gen.ChainOptions{Tasks: 5}),
 		gen.RandomJobs(gen.RandomOptions{Seed: 4}),
 	} {
-		joint, err := core.Solve(cfg, core.Options{})
+		joint, err := core.Solve(context.Background(), cfg, core.Options{})
 		if err != nil || joint.Status != core.StatusOptimal {
 			t.Fatalf("%s: joint %v %v", cfg.Name, joint.Status, err)
 		}
 		for _, pol := range []core.BudgetPolicy{core.BudgetMinimalRate, core.BudgetFairShare} {
-			bf, err := core.TwoPhaseBudgetFirst(cfg, pol, core.Options{})
+			bf, err := core.TwoPhaseBudgetFirst(context.Background(), cfg, pol, core.Options{})
 			if err != nil {
 				t.Fatalf("%s/%v: %v", cfg.Name, pol, err)
 			}

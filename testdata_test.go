@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 
@@ -28,7 +29,7 @@ func TestTestdataConfigsSolve(t *testing.T) {
 				t.Fatal(err)
 			}
 			if cfg.MultiRate() {
-				r, err := mrate.Solve(cfg, mrate.Options{})
+				r, err := mrate.Solve(context.Background(), cfg, mrate.Options{})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -40,7 +41,7 @@ func TestTestdataConfigsSolve(t *testing.T) {
 				}
 				return
 			}
-			r, err := core.Solve(cfg, core.Options{})
+			r, err := core.Solve(context.Background(), cfg, core.Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
