@@ -12,18 +12,28 @@
 // file:line:col: analyzer: message; the exit status is 1 when any
 // diagnostic is reported, 2 on usage or load errors, and 0 on a clean run.
 //
+// With -json, diagnostics are emitted instead as a JSON array of
+// {file, line, col, analyzer, message} objects (an empty array on a clean
+// run), for editors and tooling. In text mode, when running under GitHub
+// Actions (GITHUB_ACTIONS=true, or forced with -gha), each diagnostic is
+// additionally emitted as a ::error workflow command so findings surface as
+// inline annotations on the pull request.
+//
 // A finding can be suppressed by an adjacent directive comment with a
-// mandatory reason, on the flagged line or the line above:
+// mandatory reason, on the flagged line or the line above (for a wrapped
+// statement, the directive covers the statement's full line extent):
 //
 //	//bbvet:allow <analyzer> <reason>
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/analysis"
 )
@@ -37,8 +47,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	names := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
 	list := fs.Bool("list", false, "list the available analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array instead of text lines")
+	gha := fs.Bool("gha", false, "emit GitHub Actions ::error annotations alongside text output (auto-enabled when GITHUB_ACTIONS=true)")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: bbvet [-analyzers a,b] [-list] [packages]\n")
+		fmt.Fprintf(stderr, "usage: bbvet [-analyzers a,b] [-list] [-json] [-gha] [packages]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -65,16 +77,82 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "bbvet: %v\n", err)
 		return 2
 	}
-	for _, d := range diags {
-		if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !filepath.IsAbs(rel) {
-			d.Pos.Filename = rel
+	for i := range diags {
+		if rel, err := filepath.Rel(cwd, diags[i].Pos.Filename); err == nil && !filepath.IsAbs(rel) {
+			diags[i].Pos.Filename = rel
 		}
-		fmt.Fprintln(stdout, d)
+	}
+	if *jsonOut {
+		if err := writeJSON(stdout, diags); err != nil {
+			fmt.Fprintf(stderr, "bbvet: %v\n", err)
+			return 2
+		}
+	} else {
+		annotate := *gha || os.Getenv("GITHUB_ACTIONS") == "true"
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+			if annotate {
+				fmt.Fprintln(stdout, ghaAnnotation(d))
+			}
+		}
 	}
 	if len(diags) > 0 {
 		return 1
 	}
 	return 0
+}
+
+// jsonDiagnostic is the stable machine-readable form of one finding.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// writeJSON emits the diagnostics as a JSON array; a clean run is an empty
+// array, never null, so consumers can range without a nil check.
+func writeJSON(w io.Writer, diags []analysis.Diagnostic) error {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiagnostic{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ghaAnnotation renders one diagnostic as a GitHub Actions workflow command
+// that turns into an inline PR annotation.
+func ghaAnnotation(d analysis.Diagnostic) string {
+	return fmt.Sprintf("::error file=%s,line=%d,col=%d,title=bbvet %s::%s",
+		ghaEscapeProperty(d.Pos.Filename), d.Pos.Line, d.Pos.Column,
+		ghaEscapeProperty(d.Analyzer), ghaEscapeData(d.Message))
+}
+
+// ghaEscapeData escapes a workflow-command message per the Actions runner
+// rules: %, CR, and LF.
+func ghaEscapeData(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}
+
+// ghaEscapeProperty escapes a workflow-command property value, which must
+// additionally protect the property delimiters : and , .
+func ghaEscapeProperty(s string) string {
+	s = ghaEscapeData(s)
+	s = strings.ReplaceAll(s, ":", "%3A")
+	s = strings.ReplaceAll(s, ",", "%2C")
+	return s
 }
 
 // Check loads the packages matching the patterns (resolved relative to

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -11,7 +12,10 @@ func TestListAnalyzers(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
 		t.Fatalf("bbvet -list exited %d: %s", code, errOut.String())
 	}
-	for _, name := range []string{"floatcmp", "maprange", "hotalloc", "statuscheck", "csralias"} {
+	for _, name := range []string{
+		"floatcmp", "maprange", "hotalloc", "statuscheck", "csralias",
+		"ctxflow", "leakcheck", "faultsite", "hotloop",
+	} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing analyzer %s:\n%s", name, out.String())
 		}
@@ -29,6 +33,7 @@ func TestUnknownAnalyzerIsUsageError(t *testing.T) {
 // fixture package with known findings: exit status 1 and canonical
 // file:line:col: analyzer: message lines.
 func TestFixtureFindingsExitNonZero(t *testing.T) {
+	t.Setenv("GITHUB_ACTIONS", "") // keep the output pure text lines
 	var out, errOut bytes.Buffer
 	code := run([]string{"../../testdata/analysis/floatcmp"}, &out, &errOut)
 	if code != 1 {
@@ -52,5 +57,92 @@ func TestRepositoryExitsZero(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if code := run([]string{"../../..."}, &out, &errOut); code != 0 {
 		t.Fatalf("bbvet on the repository exited %d:\n%s%s", code, out.String(), errOut.String())
+	}
+}
+
+// TestJSONOutput checks the machine-readable mode: a JSON array with one
+// object per finding, fields populated, no text lines mixed in.
+func TestJSONOutput(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-json", "../../testdata/analysis/floatcmp"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("bbvet -json on the floatcmp fixture exited %d, want 1 (stderr: %s)", code, errOut.String())
+	}
+	var diags []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, out.String())
+	}
+	if len(diags) != 3 {
+		t.Fatalf("got %d JSON diagnostics, want 3", len(diags))
+	}
+	for _, d := range diags {
+		if d.File == "" || d.Line <= 0 || d.Col <= 0 || d.Analyzer != "floatcmp" || d.Message == "" {
+			t.Errorf("incomplete JSON diagnostic: %+v", d)
+		}
+		if !strings.HasSuffix(d.File, "floatcmp.go") {
+			t.Errorf("file %q does not point at the fixture", d.File)
+		}
+	}
+}
+
+// TestJSONCleanRunIsEmptyArray pins the clean-run contract: [] rather than
+// null, so consumers can range over the result unconditionally.
+func TestJSONCleanRunIsEmptyArray(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-json", "-analyzers", "csralias", "../../testdata/analysis/floatcmp"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("clean -json run exited %d: %s%s", code, out.String(), errOut.String())
+	}
+	if got := strings.TrimSpace(out.String()); got != "[]" {
+		t.Fatalf("clean run printed %q, want []", got)
+	}
+}
+
+// TestGHAAnnotations checks that under GitHub Actions each text diagnostic
+// is doubled by a ::error workflow command carrying file/line/col.
+func TestGHAAnnotations(t *testing.T) {
+	t.Setenv("GITHUB_ACTIONS", "true")
+	var out, errOut bytes.Buffer
+	code := run([]string{"../../testdata/analysis/floatcmp"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exited %d, want 1 (stderr: %s)", code, errOut.String())
+	}
+	text := out.String()
+	if n := strings.Count(text, "::error file="); n != 3 {
+		t.Fatalf("got %d ::error annotations, want 3:\n%s", n, text)
+	}
+	if !strings.Contains(text, ",line=") || !strings.Contains(text, ",col=") {
+		t.Errorf("annotations missing line/col properties:\n%s", text)
+	}
+	if !strings.Contains(text, "title=bbvet floatcmp::") {
+		t.Errorf("annotations missing the analyzer title:\n%s", text)
+	}
+}
+
+// TestGHAFlagWithoutEnv forces annotations with -gha even outside CI.
+func TestGHAFlagWithoutEnv(t *testing.T) {
+	t.Setenv("GITHUB_ACTIONS", "")
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-gha", "../../testdata/analysis/floatcmp"}, &out, &errOut); code != 1 {
+		t.Fatalf("exited %d, want 1 (stderr: %s)", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "::error file=") {
+		t.Errorf("-gha did not emit annotations:\n%s", out.String())
+	}
+}
+
+// TestGHAEscaping pins the workflow-command escaping rules.
+func TestGHAEscaping(t *testing.T) {
+	if got := ghaEscapeData("50% of a\nline\r"); got != "50%25 of a%0Aline%0D" {
+		t.Errorf("ghaEscapeData = %q", got)
+	}
+	if got := ghaEscapeProperty("a:b,c%d"); got != "a%3Ab%2Cc%25d" {
+		t.Errorf("ghaEscapeProperty = %q", got)
 	}
 }

@@ -17,7 +17,9 @@
 // and CI requires a clean run.
 //
 // Findings can be suppressed per line with a directive comment, either on
-// the flagged line or on the line directly above it:
+// the flagged line or on the line directly above it; a directive annotating
+// a statement wrapped across several lines covers the statement's full
+// extent (composite statements contribute only their header lines):
 //
 //	x := a.Val // bbvet:allow csralias transient view, released below
 //	//bbvet:allow floatcmp sort tie-break needs exact ordering
@@ -74,7 +76,8 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// All returns the full analyzer suite in reporting order.
+// All returns the full analyzer suite in reporting order: the AST-pattern
+// analyzers of the original suite first, then the CFG/dataflow analyzers.
 func All() []*Analyzer {
 	return []*Analyzer{
 		FloatCmp,
@@ -82,6 +85,10 @@ func All() []*Analyzer {
 		HotAlloc,
 		StatusCheck,
 		CSRAlias,
+		CtxFlow,
+		LeakCheck,
+		FaultSite,
+		HotLoop,
 	}
 }
 
@@ -150,13 +157,31 @@ const HotpathDirective = "bbvet:hotpath"
 type suppressions struct {
 	// byFileLine maps filename -> line -> set of allowed analyzer names.
 	byFileLine map[string]map[int]map[string]bool
-	malformed  []Diagnostic
+	// spans extends a directive over the full line range of the statement
+	// it annotates, so an allow above (or trailing) a multi-line statement
+	// suppresses diagnostics anchored on any of its wrapped lines.
+	spans     map[string][]allowSpan
+	malformed []Diagnostic
 }
 
-// collectAllows scans the package's comments for bbvet:allow directives.
+// allowSpan is one analyzer's suppression over an inclusive line range.
+type allowSpan struct {
+	from, to int
+	analyzer string
+}
+
+// collectAllows scans the package's comments — test files included, since
+// some analyzers (faultsite) report into them — for bbvet:allow directives.
 func collectAllows(pkg *Package) *suppressions {
-	s := &suppressions{byFileLine: map[string]map[int]map[string]bool{}}
-	for _, f := range pkg.Files {
+	s := &suppressions{
+		byFileLine: map[string]map[int]map[string]bool{},
+		spans:      map[string][]allowSpan{},
+	}
+	files := make([]*ast.File, 0, len(pkg.Files)+len(pkg.TestFiles))
+	files = append(files, pkg.Files...)
+	files = append(files, pkg.TestFiles...)
+	for _, f := range files {
+		var extents []lineExtent // built lazily, only when a directive needs it
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text, ok := directiveText(c.Text)
@@ -198,10 +223,92 @@ func collectAllows(pkg *Package) *suppressions {
 					lines[pos.Line] = map[string]bool{}
 				}
 				lines[pos.Line][name] = true
+				if extents == nil {
+					extents = stmtExtents(pkg.Fset, f)
+				}
+				if from, to, ok := directiveExtent(extents, pos.Line); ok {
+					s.spans[pos.Filename] = append(s.spans[pos.Filename],
+						allowSpan{from: from, to: to, analyzer: name})
+				}
 			}
 		}
 	}
 	return s
+}
+
+// lineExtent is the line range of one simple statement (or of a composite
+// statement's header), used to give allow directives statement extent.
+type lineExtent struct {
+	from, to int
+}
+
+// stmtExtents collects the line extents of the file's statements. Simple
+// statements span their full source range; composite statements (if, for,
+// range, switch, select, case bodies, blocks) contribute only their header
+// lines, so a directive never silently suppresses a whole block. Top-level
+// non-function declarations (a wrapped var/const initializer) count too.
+func stmtExtents(fset *token.FileSet, f *ast.File) []lineExtent {
+	var out []lineExtent
+	add := func(from, to token.Pos) {
+		out = append(out, lineExtent{
+			from: fset.Position(from).Line,
+			to:   fset.Position(to).Line,
+		})
+	}
+	for _, decl := range f.Decls {
+		if gd, ok := decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				add(spec.Pos(), spec.End())
+			}
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			add(n.Pos(), n.Body.Lbrace)
+		case *ast.ForStmt:
+			add(n.Pos(), n.Body.Lbrace)
+		case *ast.RangeStmt:
+			add(n.Pos(), n.Body.Lbrace)
+		case *ast.SwitchStmt:
+			add(n.Pos(), n.Body.Lbrace)
+		case *ast.TypeSwitchStmt:
+			add(n.Pos(), n.Body.Lbrace)
+		case *ast.SelectStmt:
+			add(n.Pos(), n.Body.Lbrace)
+		case *ast.CaseClause:
+			add(n.Pos(), n.Colon)
+		case *ast.CommClause:
+			add(n.Pos(), n.Colon)
+		case *ast.BlockStmt, *ast.LabeledStmt:
+			// Containers: their inner statements carry their own extents.
+		case ast.Stmt:
+			add(n.Pos(), n.End())
+		}
+		return true
+	})
+	return out
+}
+
+// directiveExtent resolves the statement extent a directive on line L
+// annotates: the narrowest statement starting on L+1 (directive-above
+// form) or, failing that, the narrowest statement whose lines contain L
+// (trailing form on a wrapped statement). Reported extents always include
+// the legacy {L, L+1} lines via the byFileLine fallback, so this only ever
+// widens suppression.
+func directiveExtent(extents []lineExtent, line int) (from, to int, ok bool) {
+	best := -1
+	for i, e := range extents {
+		if e.from == line+1 || (e.from <= line && line <= e.to) {
+			if best < 0 || e.to-e.from < extents[best].to-extents[best].from {
+				best = i
+			}
+		}
+	}
+	if best < 0 {
+		return 0, 0, false
+	}
+	return extents[best].from, extents[best].to, true
 }
 
 // directiveText extracts the payload after bbvet:allow from a comment, in
@@ -216,14 +323,22 @@ func directiveText(comment string) (string, bool) {
 	return strings.TrimSpace(strings.TrimPrefix(text, allowPrefix)), true
 }
 
-// allows reports whether a directive on the diagnostic's line, or on the
-// line directly above it, suppresses the diagnostic.
+// allows reports whether a directive suppresses the diagnostic: one on the
+// diagnostic's line or the line directly above it, or one whose annotated
+// statement's full extent covers the diagnostic's line (the multi-line
+// wrapped-statement case).
 func (s *suppressions) allows(d Diagnostic) bool {
-	lines := s.byFileLine[d.Pos.Filename]
-	if lines == nil {
-		return false
+	if lines := s.byFileLine[d.Pos.Filename]; lines != nil {
+		if lines[d.Pos.Line][d.Analyzer] || lines[d.Pos.Line-1][d.Analyzer] {
+			return true
+		}
 	}
-	return lines[d.Pos.Line][d.Analyzer] || lines[d.Pos.Line-1][d.Analyzer]
+	for _, sp := range s.spans[d.Pos.Filename] {
+		if sp.analyzer == d.Analyzer && sp.from <= d.Pos.Line && d.Pos.Line <= sp.to {
+			return true
+		}
+	}
+	return false
 }
 
 // funcHotpath reports whether the function declaration carries the

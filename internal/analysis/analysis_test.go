@@ -66,6 +66,66 @@ var d int // bbvet:allow maprange trailing directive with reason
 	}
 }
 
+// TestAllowDirectiveStatementExtent pins the multi-line behavior: a
+// directive covers every line of the simple statement it annotates, but for
+// composite statements only the header, never the body.
+func TestAllowDirectiveStatementExtent(t *testing.T) {
+	pkg := parseOnly(t, `package p
+
+func f(a, b float64) bool {
+	//bbvet:allow floatcmp wrapped call: tolerance checked by callee
+	return eq(
+		a,
+		b,
+	)
+}
+
+func h(a, b float64) bool {
+	//bbvet:allow floatcmp header comparison is a sort tie-break
+	if a == b ||
+		a != b {
+		return b == a
+	}
+	return false
+}
+
+func k(a, b float64) bool {
+	return eq(a, // bbvet:allow floatcmp trailing form on a wrapped statement
+		b)
+}
+`)
+	sup := collectAllows(pkg)
+	if len(sup.malformed) != 0 {
+		t.Fatalf("unexpected malformed directives: %v", sup.malformed)
+	}
+	cases := []struct {
+		line int
+		want bool
+	}{
+		{5, true},   // return eq( — legacy line-below rule
+		{6, true},   // a, — wrapped argument line, extent rule
+		{8, true},   // ) — last line of the statement
+		{9, false},  // closing brace of f
+		{13, true},  // if a == b || — header line
+		{14, true},  // a != b { — still the header
+		{15, false}, // body of the if: header-only extent must not cover it
+		{17, false}, // return false after the if
+		{21, true},  // trailing directive's own line
+		{22, true},  // second line of the wrapped return
+	}
+	for _, c := range cases {
+		d := Diagnostic{Pos: token.Position{Filename: "fixture.go", Line: c.line}, Analyzer: "floatcmp"}
+		if got := sup.allows(d); got != c.want {
+			t.Errorf("allows(line %d) = %v, want %v", c.line, got, c.want)
+		}
+	}
+	// A different analyzer is never suppressed by these directives.
+	d := Diagnostic{Pos: token.Position{Filename: "fixture.go", Line: 6}, Analyzer: "maprange"}
+	if sup.allows(d) {
+		t.Error("extent suppression leaked across analyzers")
+	}
+}
+
 func TestHotpathDirectiveDetection(t *testing.T) {
 	pkg := parseOnly(t, `package p
 

@@ -1,0 +1,307 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// FaultSite keeps the fault-injection layer honest. Fault sites are named
+// by string constants in internal/faultinject; a site name that drifts —
+// a typo'd literal fired in library code, or a test arming a rule for a
+// site that no production code ever fires — fails silently: the library
+// hook becomes dead, or the fault test becomes vacuous (it "passes" while
+// injecting nothing). The analyzer cross-checks both directions:
+//
+//   - every site passed to faultinject.Hit/CorruptNaN in library code must
+//     be a declared Site* constant (or a Site* helper call like
+//     SiteSweepJob); a raw string that matches no declared site value is
+//     an undeclared site, and a non-constant name defeats the registry;
+//   - every site referenced in a package's test files — Rule{Site: ...}
+//     literals and direct Hit/CorruptNaN calls — must name a declared
+//     Site* constant or match a declared site's string value.
+//
+// Test files are scanned without type information (they are parsed, not
+// type-checked), so the test-side checks are syntactic: they apply to any
+// test file importing a package named faultinject. The faultinject
+// package's own unit tests exercise the machinery with synthetic site
+// names and do not import themselves, so they are naturally out of scope.
+var FaultSite = &Analyzer{
+	Name: "faultsite",
+	Doc:  "cross-checks faultinject site names: fired sites must be declared, tested sites must exist",
+	Run:  runFaultSite,
+}
+
+func runFaultSite(pass *Pass) {
+	decls := findSiteDecls(pass.Pkg)
+	if decls != nil {
+		checkLibrarySites(pass, decls)
+	}
+	checkTestSites(pass, decls)
+}
+
+// siteDecls is the declared fault-site registry of a faultinject package:
+// the exported Site* string constants (by name and by value) and the Site*
+// generator functions (by name; their values are dynamic).
+type siteDecls struct {
+	values map[string]bool // constant site strings
+	consts map[string]bool // Site* constant names
+	funcs  map[string]bool // Site* function names
+}
+
+// findSiteDecls locates the faultinject package visible to the analyzed
+// package — itself, a direct import, or (when only test files use it) a
+// loader-resolved intra-module import — and indexes its Site* declarations.
+// Returns nil when no faultinject package is in scope.
+func findSiteDecls(pkg *Package) *siteDecls {
+	var scope *types.Scope
+	if pkg.Types != nil && pkg.Types.Name() == "faultinject" {
+		scope = pkg.Types.Scope()
+	}
+	if scope == nil && pkg.Types != nil {
+		for _, imp := range pkg.Types.Imports() {
+			if imp.Name() == "faultinject" {
+				scope = imp.Scope()
+				break
+			}
+		}
+	}
+	if scope == nil {
+		// Perhaps only the test files import it.
+		for _, f := range pkg.TestFiles {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil || !isFaultinjectPath(path) {
+					continue
+				}
+				if dep, err := pkg.LoadImport(path); err == nil && dep.Types != nil {
+					scope = dep.Types.Scope()
+					break
+				}
+			}
+			if scope != nil {
+				break
+			}
+		}
+	}
+	if scope == nil {
+		return nil
+	}
+	d := &siteDecls{values: map[string]bool{}, consts: map[string]bool{}, funcs: map[string]bool{}}
+	for _, name := range scope.Names() {
+		if !strings.HasPrefix(name, "Site") {
+			continue
+		}
+		switch obj := scope.Lookup(name).(type) {
+		case *types.Const:
+			if obj.Val().Kind() == constant.String {
+				d.consts[name] = true
+				d.values[constant.StringVal(obj.Val())] = true
+			}
+		case *types.Func:
+			d.funcs[name] = true
+		}
+	}
+	return d
+}
+
+func isFaultinjectPath(path string) bool {
+	return path == "faultinject" || strings.HasSuffix(path, "/faultinject")
+}
+
+// checkLibrarySites validates the site argument of every Hit/CorruptNaN
+// call and every Rule{Site: ...} literal in the type-checked library files.
+func checkLibrarySites(pass *Pass, decls *siteDecls) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if !isFaultinjectCall(info, n, "Hit") && !isFaultinjectCall(info, n, "CorruptNaN") {
+					return true
+				}
+				if len(n.Args) == 0 {
+					return true
+				}
+				checkSiteExpr(pass, info, n.Args[0], decls)
+			case *ast.CompositeLit:
+				if !isFaultinjectRuleType(info.Types[n].Type) {
+					return true
+				}
+				for _, elt := range n.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Site" {
+						checkSiteExpr(pass, info, kv.Value, decls)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkSiteExpr validates one typed site-name expression: a constant whose
+// value is a declared site, or a call to a Site* generator.
+func checkSiteExpr(pass *Pass, info *types.Info, e ast.Expr, decls *siteDecls) {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok {
+		if name, ok := siteCalleeName(call); ok && decls.funcs[name] {
+			return // dynamic site from a declared generator
+		}
+		pass.Reportf(e.Pos(), "fault site produced by a call that is not a declared faultinject Site* helper")
+		return
+	}
+	tv := info.Types[e]
+	if tv.Value == nil || tv.Value.Kind() != constant.String {
+		pass.Reportf(e.Pos(), "fault site name is not a constant; use a declared faultinject.Site* constant so tests can target it")
+		return
+	}
+	if v := constant.StringVal(tv.Value); !decls.values[v] {
+		pass.Reportf(e.Pos(), "fault site %q is not declared in package faultinject; a typo here makes the fault hook dead", v)
+	}
+}
+
+// siteCalleeName extracts the Site*-shaped callee name of a call
+// (faultinject.SiteSweepJob(i) or, package-internally, SiteSweepJob(i)).
+func siteCalleeName(call *ast.CallExpr) (string, bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name, strings.HasPrefix(fun.Name, "Site")
+	case *ast.SelectorExpr:
+		return fun.Sel.Name, strings.HasPrefix(fun.Sel.Name, "Site")
+	}
+	return "", false
+}
+
+// isFaultinjectCall reports whether the call is <faultinject pkg>.<name>
+// or, inside the faultinject package itself, a plain <name> call.
+func isFaultinjectCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	}
+	if id == nil || id.Name != name {
+		return false
+	}
+	obj := info.Uses[id]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Name() == "faultinject"
+}
+
+// isFaultinjectRuleType reports whether t is the Rule struct of a
+// faultinject package.
+func isFaultinjectRuleType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Rule" && obj.Pkg() != nil && obj.Pkg().Name() == "faultinject"
+}
+
+// checkTestSites scans the parse-only test files: in any test file that
+// imports a faultinject package, Site: field values and Hit/CorruptNaN
+// arguments must reference declared sites. When the registry could not be
+// resolved (decls == nil) but a test file does import faultinject, that is
+// itself reported — a silently unresolvable registry would make the check
+// vacuous, which is the failure mode this analyzer exists to prevent.
+func checkTestSites(pass *Pass, decls *siteDecls) {
+	for _, f := range pass.Pkg.TestFiles {
+		localName := faultinjectLocalName(f)
+		if localName == "" {
+			continue // this test file does not use fault injection
+		}
+		if decls == nil {
+			pass.Reportf(f.Name.Pos(), "test file imports faultinject but the site registry could not be resolved; faultsite cannot verify its site names")
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.KeyValueExpr:
+				if key, ok := n.Key.(*ast.Ident); ok && key.Name == "Site" {
+					checkTestSiteExpr(pass, n.Value, localName, decls)
+				}
+			case *ast.CallExpr:
+				if name, qualified := testCallee(n, localName); name == "Hit" || name == "CorruptNaN" {
+					if qualified && len(n.Args) > 0 {
+						checkTestSiteExpr(pass, n.Args[0], localName, decls)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// faultinjectLocalName returns the name a test file refers to the
+// faultinject package by ("faultinject", an alias, or "" when the file
+// does not import one). Dot-imports are reported as unusable rather than
+// guessed at.
+func faultinjectLocalName(f *ast.File) string {
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || !isFaultinjectPath(path) {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "." || imp.Name.Name == "_" {
+				continue
+			}
+			return imp.Name.Name
+		}
+		return "faultinject"
+	}
+	return ""
+}
+
+// testCallee resolves a call in a parse-only test file to (name,
+// qualifiedByFaultinject).
+func testCallee(call *ast.CallExpr, localName string) (string, bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if x, ok := fun.X.(*ast.Ident); ok && x.Name == localName {
+			return fun.Sel.Name, true
+		}
+		return fun.Sel.Name, false
+	case *ast.Ident:
+		return fun.Name, false
+	}
+	return "", false
+}
+
+// checkTestSiteExpr validates a site reference in a parse-only test file:
+// a string literal must match a declared site's value; a selector
+// localName.SiteX must name a declared constant or generator; a call
+// localName.SiteFn(...) must name a declared generator.
+func checkTestSiteExpr(pass *Pass, e ast.Expr, localName string, decls *siteDecls) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		v, err := strconv.Unquote(e.Value)
+		if err != nil {
+			return
+		}
+		if !decls.values[v] {
+			pass.Reportf(e.Pos(), "test references fault site %q, which no production code declares; the fault test is vacuous", v)
+		}
+	case *ast.SelectorExpr:
+		if x, ok := e.X.(*ast.Ident); ok && x.Name == localName {
+			if !decls.consts[e.Sel.Name] && !decls.funcs[e.Sel.Name] {
+				pass.Reportf(e.Pos(), "test references faultinject.%s, which is not declared", e.Sel.Name)
+			}
+		}
+	case *ast.CallExpr:
+		if name, ok := siteCalleeName(e); ok && !decls.funcs[name] && !decls.consts[name] {
+			pass.Reportf(e.Pos(), "test builds a fault site with %s, which is not a declared Site* helper", name)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"go/ast"
 	"path/filepath"
 	"regexp"
 	"testing"
@@ -60,7 +61,10 @@ func runFixture(t *testing.T, a *Analyzer, name string) {
 func collectWants(t *testing.T, pkg *Package) map[string][]*expectation {
 	t.Helper()
 	wants := map[string][]*expectation{}
-	for _, f := range pkg.Files {
+	files := make([]*ast.File, 0, len(pkg.Files)+len(pkg.TestFiles))
+	files = append(files, pkg.Files...)
+	files = append(files, pkg.TestFiles...)
+	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := c.Text
@@ -107,6 +111,10 @@ func TestMapRangeFixture(t *testing.T)    { runFixture(t, MapRange, "maprange") 
 func TestHotAllocFixture(t *testing.T)    { runFixture(t, HotAlloc, "hotalloc") }
 func TestStatusCheckFixture(t *testing.T) { runFixture(t, StatusCheck, "statuscheck") }
 func TestCSRAliasFixture(t *testing.T)    { runFixture(t, CSRAlias, "csralias") }
+func TestCtxFlowFixture(t *testing.T)     { runFixture(t, CtxFlow, "ctxflow") }
+func TestLeakCheckFixture(t *testing.T)   { runFixture(t, LeakCheck, "leakcheck") }
+func TestFaultSiteFixture(t *testing.T)   { runFixture(t, FaultSite, "faultsite") }
+func TestHotLoopFixture(t *testing.T)     { runFixture(t, HotLoop, "hotloop") }
 
 // TestFixturesAreExercised guards against a silently skipped fixture: every
 // fixture package must produce at least one positive and contain at least

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotLoop refines hotalloc with the CFG's loop structure: inside a
+// //bbvet:hotpath function it flags only the constructs that are
+// *loop-carried* — executed once per iteration, where the cost actually
+// accrues — instead of flagging the whole body uniformly:
+//
+//   - allocations in a block with LoopDepth > 0 (make, new, append,
+//     slice/map composite literals, address-of-literal, closures): one
+//     allocation per iteration is what turns a zero-alloc solve into a
+//     GC-bound one;
+//   - map iteration nested inside another loop: re-walking a map's
+//     buckets every outer iteration is both slow and order-randomized;
+//   - defer inside a loop: deferred calls accumulate until function exit,
+//     an allocation and a latency cliff per iteration.
+//
+// hotalloc remains the whole-body contract (the annotated IPM hot paths
+// are zero-alloc everywhere); hotloop is the precision layer that stays
+// meaningful for hot functions with a legitimate setup phase, and its
+// diagnostics point at the iteration cost rather than the function.
+var HotLoop = &Analyzer{
+	Name: "hotloop",
+	Doc:  "flags loop-carried allocations, nested map iteration, and defers in //bbvet:hotpath functions",
+	Run:  runHotLoop,
+}
+
+func runHotLoop(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !funcHotpath(fn) {
+				continue
+			}
+			checkHotLoops(pass, fn)
+		}
+	}
+}
+
+func checkHotLoops(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	g := BuildCFG(fn.Body)
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			// A range head carries its RangeStmt: flag map iteration when
+			// the head itself sits inside another loop (depth includes the
+			// range's own loop, so nested means depth ≥ 2).
+			if rng, ok := n.(*ast.RangeStmt); ok {
+				if t := info.Types[rng.X].Type; t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap && blk.LoopDepth >= 2 {
+						pass.Reportf(rng.For, "map iteration is loop-carried in a hotpath function: the map is re-walked every outer iteration")
+					}
+				}
+				continue // body statements have their own blocks
+			}
+			if blk.LoopDepth == 0 {
+				continue
+			}
+			switch n := n.(type) {
+			case *ast.DeferStmt:
+				pass.Reportf(n.Defer, "defer in a loop of a hotpath function accumulates until exit (one allocation per iteration)")
+				continue // the defer is the finding; don't also flag its closure
+			case *ast.SelectStmt:
+				continue // comm clauses live in their own blocks
+			}
+			reportLoopAllocs(pass, n)
+		}
+	}
+}
+
+// reportLoopAllocs flags the allocating constructs inside one loop-carried
+// CFG node. Nested function literals are flagged as allocations themselves
+// and not descended into.
+func reportLoopAllocs(pass *Pass, root ast.Node) {
+	info := pass.Pkg.Info
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch {
+			case isBuiltin(info, n.Fun, "make"):
+				pass.Reportf(n.Lparen, "make is loop-carried in a hotpath function: allocates every iteration")
+			case isBuiltin(info, n.Fun, "new"):
+				pass.Reportf(n.Lparen, "new is loop-carried in a hotpath function: allocates every iteration")
+			case isBuiltin(info, n.Fun, "append"):
+				pass.Reportf(n.Lparen, "append is loop-carried in a hotpath function: may grow its backing array every iteration")
+			case isBuiltin(info, n.Fun, "panic"):
+				return false // terminating error path
+			}
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure is loop-carried in a hotpath function: allocates every iteration")
+			return false
+		case *ast.CompositeLit:
+			if t := info.Types[n].Type; t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					pass.Reportf(n.Pos(), "composite literal is loop-carried in a hotpath function: allocates every iteration")
+				}
+			}
+		case *ast.UnaryExpr:
+			if _, ok := n.X.(*ast.CompositeLit); ok {
+				pass.Reportf(n.OpPos, "address of composite literal is loop-carried in a hotpath function: allocates every iteration")
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,268 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LeakCheck guards the two goroutine invariants the parallel sweep engine
+// depends on:
+//
+//   - No leaked workers: a `go` statement must be paired with a join on
+//     every CFG path from the launch to the function's exit — a
+//     sync.WaitGroup Wait, a channel receive, a range over a channel, or a
+//     select. A function that can return while its goroutines still run
+//     leaks them past the caller's synchronization (and past the test's
+//     race window). Joins performed in a defer count for all paths, since
+//     deferred calls run on every exit.
+//   - No process-killing workers: a pooled worker — a `go` statement with
+//     a function-literal body launched from inside a loop — must recover
+//     panics, either with a deferred recover in the literal itself or by
+//     routing its work through a local function that does (the
+//     runJob-style wrapper core.RunSweep uses). One panicking sweep job
+//     must fail its own index, not the process.
+//
+// Deliberately long-lived goroutines (a signal listener, a trace drainer)
+// are legitimate; suppress them with a reasoned //bbvet:allow leakcheck.
+var LeakCheck = &Analyzer{
+	Name: "leakcheck",
+	Doc:  "flags go statements without a join on every path to exit, and pooled workers without panic recovery",
+	Run:  runLeakCheck,
+}
+
+func runLeakCheck(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkLeakFunc(pass, fn.Body)
+		}
+	}
+}
+
+// checkLeakFunc analyzes one function body, then recurses into nested
+// literals (a goroutine launched inside a closure must still be joined on
+// the closure's own paths).
+func checkLeakFunc(pass *Pass, body *ast.BlockStmt) {
+	gos := collectGoStmts(body)
+	if len(gos) > 0 {
+		g := BuildCFG(body)
+		recovering := recoveringFuncs(pass.Pkg)
+		deferJoin := false
+		for _, d := range g.Defers {
+			if isJoinNode(pass.Pkg.Info, d.Call) {
+				deferJoin = true
+			}
+		}
+		for _, gs := range gos {
+			checkGoStmt(pass, g, gs, deferJoin, recovering)
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			checkLeakFunc(pass, lit.Body)
+			return false
+		}
+		return true
+	})
+}
+
+// collectGoStmts returns the go statements of the body, excluding those
+// inside nested function literals.
+func collectGoStmts(body *ast.BlockStmt) []*ast.GoStmt {
+	var out []*ast.GoStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			out = append(out, n)
+		}
+		return true
+	})
+	return out
+}
+
+func checkGoStmt(pass *Pass, g *CFG, gs *ast.GoStmt, deferJoin bool, recovering map[types.Object]bool) {
+	blk := g.BlockOf(gs)
+	if blk == nil {
+		return
+	}
+	if !deferJoin && leaksToExit(pass.Pkg.Info, g, blk, gs) {
+		pass.Reportf(gs.Go, "goroutine is not joined on every path to the function's exit (want a WaitGroup Wait, channel receive, or select past the launch)")
+	}
+	// Pooled-worker recover rule: launched in a loop with an inline body.
+	if blk.LoopDepth > 0 {
+		if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+			if !workerRecovers(pass.Pkg.Info, lit, recovering) {
+				pass.Reportf(gs.Go, "pooled worker goroutine has no panic recovery; one panicking job would kill the process (defer a recover, or call a recovering wrapper)")
+			}
+		}
+	}
+}
+
+// leaksToExit reports whether the function can reach its exit from the go
+// statement without passing a join. Within the launching block only joins
+// after the go statement count; in every other block any join counts.
+func leaksToExit(info *types.Info, g *CFG, blk *Block, gs *ast.GoStmt) bool {
+	// A join later in the same block dominates every path out of it.
+	for _, n := range blk.Nodes {
+		if n.Pos() > gs.End() && isJoinNode(info, n) {
+			return false
+		}
+	}
+	blocked := func(b *Block) bool {
+		for _, n := range b.Nodes {
+			if isJoinNode(info, n) {
+				return true
+			}
+		}
+		return false
+	}
+	return g.Reaches(blk, g.Exit, blocked)
+}
+
+// isJoinNode reports whether the node performs (or contains, outside
+// nested literals) a goroutine join: a Wait method call, a channel
+// receive, a range over a channel, or a select statement.
+func isJoinNode(info *types.Info, root ast.Node) bool {
+	if root == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := info.Types[n.X].Type; t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+			// The ranged expression may still contain a receive; keep walking.
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// workerRecovers reports whether a worker literal's body defers a recover
+// itself, or calls a function/closure known to (one level of indirection:
+// the wrapper pattern where each job runs inside a recovering callee).
+func workerRecovers(info *types.Info, lit *ast.FuncLit, recovering map[types.Object]bool) bool {
+	ok := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if deferredRecover(info, n) {
+				ok = true
+			}
+		case *ast.CallExpr:
+			if id, isIdent := ast.Unparen(n.Fun).(*ast.Ident); isIdent {
+				if obj := info.Uses[id]; obj != nil && recovering[obj] {
+					ok = true
+				}
+			}
+			if sel, isSel := ast.Unparen(n.Fun).(*ast.SelectorExpr); isSel {
+				if obj := info.Uses[sel.Sel]; obj != nil && recovering[obj] {
+					ok = true
+				}
+			}
+		}
+		return !ok
+	})
+	return ok
+}
+
+// recoveringFuncs indexes the package's functions and local closures whose
+// body contains a deferred recover: declared functions and methods by
+// their object, plus closures assigned to a variable (runJob := func(...)
+// { defer func() { recover() ... }(); ... }) by the variable's object.
+func recoveringFuncs(pkg *Package) map[types.Object]bool {
+	info := pkg.Info
+	out := map[types.Object]bool{}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil && bodyDefersRecover(info, n.Body) {
+					if obj := info.Defs[n.Name]; obj != nil {
+						out[obj] = true
+					}
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					lit, ok := rhs.(*ast.FuncLit)
+					if !ok || i >= len(n.Lhs) || !bodyDefersRecover(info, lit.Body) {
+						continue
+					}
+					if id, ok := n.Lhs[i].(*ast.Ident); ok {
+						if obj := info.Defs[id]; obj != nil {
+							out[obj] = true
+						} else if obj := info.Uses[id]; obj != nil {
+							out[obj] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// bodyDefersRecover reports whether the body (not nested literals, except
+// the deferred ones themselves) contains a deferred recover.
+func bodyDefersRecover(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if d, ok := n.(*ast.DeferStmt); ok && deferredRecover(info, d) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// deferredRecover reports whether a defer statement runs recover: either
+// `defer func() { ... recover() ... }()` or a direct `defer recover()`
+// (legal but useless; still counted as intent).
+func deferredRecover(info *types.Info, d *ast.DeferStmt) bool {
+	if isBuiltin(info, d.Call.Fun, "recover") {
+		return true
+	}
+	lit, ok := d.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isBuiltin(info, call.Fun, "recover") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -14,17 +14,34 @@ import (
 )
 
 // A Package is one parsed and type-checked package ready for analysis.
-// Test files (_test.go) are excluded: the invariants bbvet enforces are
-// about production behavior, and tests legitimately use exact comparisons
-// and discard results.
+// Test files (_test.go) are excluded from type-checking: the invariants
+// bbvet enforces are about production behavior, and tests legitimately use
+// exact comparisons and discard results. They are still parsed — without
+// type information — into TestFiles, for the analyzers that cross-check
+// what tests reference against what production code declares (faultsite).
 type Package struct {
 	Path  string // import path ("repro/internal/linalg")
 	Dir   string // absolute directory
 	Name  string // package name from the package clauses
 	Fset  *token.FileSet
 	Files []*ast.File
-	Types *types.Package
-	Info  *types.Info
+	// TestFiles are the package's _test.go files, parsed but not
+	// type-checked (external foo_test packages included).
+	TestFiles []*ast.File
+	Types     *types.Package
+	Info      *types.Info
+
+	loader *Loader
+}
+
+// LoadImport loads another intra-module package through the same loader,
+// so an analyzer can consult declarations outside the package under
+// analysis (faultsite resolving the fault-site registry).
+func (p *Package) LoadImport(path string) (*Package, error) {
+	if p.loader == nil {
+		return nil, fmt.Errorf("analysis: package %s has no loader", p.Path)
+	}
+	return p.loader.load(path)
 }
 
 // A Loader parses and type-checks packages of one module using only the
@@ -139,7 +156,7 @@ func (l *Loader) load(path string) (*Package, error) {
 	if len(names) == 0 {
 		return nil, fmt.Errorf("analysis: no Go source files in %s", dir)
 	}
-	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset, loader: l}
 	for _, name := range names {
 		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
@@ -151,6 +168,17 @@ func (l *Loader) load(path string) (*Package, error) {
 			return nil, fmt.Errorf("analysis: %s contains packages %s and %s", dir, pkg.Name, f.Name.Name)
 		}
 		pkg.Files = append(pkg.Files, f)
+	}
+	testNames, err := goTestFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range testNames {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		pkg.TestFiles = append(pkg.TestFiles, f)
 	}
 	pkg.Info = &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
@@ -198,6 +226,22 @@ func goSourceFiles(dir string) ([]string, error) {
 			continue
 		}
 		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// goTestFiles lists the _test.go files of dir, sorted.
+func goTestFiles(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if name := e.Name(); !e.IsDir() && strings.HasSuffix(name, "_test.go") {
+			names = append(names, name)
+		}
 	}
 	sort.Strings(names)
 	return names, nil

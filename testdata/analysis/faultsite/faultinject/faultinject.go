@@ -1,0 +1,52 @@
+// Package faultinject is a miniature stand-in for the repository's fault
+// registry, giving the faultsite fixture a resolvable Site* declaration
+// set. The shape matters (Site* constants, a Site* generator, Hit /
+// CorruptNaN, Rule); the behavior is a toy.
+package faultinject
+
+import (
+	"math"
+	"strconv"
+)
+
+// Declared fault sites.
+const (
+	SiteSolveEntry = "solve.entry"
+	SiteSweepMerge = "sweep.merge"
+)
+
+// SiteJob names the fault site of one sweep job.
+func SiteJob(i int) string { return "sweep.job." + strconv.Itoa(i) }
+
+// Rule arms one fault site for a bounded number of hits.
+type Rule struct {
+	Site  string
+	Count int
+}
+
+var (
+	armed  []Rule
+	counts = map[string]int{}
+)
+
+// Arm installs a rule.
+func Arm(r Rule) { armed = append(armed, r) }
+
+// Hit reports whether the named site fires now.
+func Hit(site string) bool {
+	for _, r := range armed {
+		if r.Site == site && counts[site] < r.Count {
+			counts[site]++
+			return true
+		}
+	}
+	return false
+}
+
+// CorruptNaN returns NaN when the site fires, x otherwise.
+func CorruptNaN(site string, x float64) float64 {
+	if Hit(site) {
+		return math.NaN()
+	}
+	return x
+}

@@ -1,0 +1,64 @@
+// Package faultsite is a bbvet fixture: every fault site fired in library
+// code must be a declared faultinject Site* constant (or built by a Site*
+// generator); a typo'd literal is a dead hook.
+package faultsite
+
+import (
+	"repro/testdata/analysis/faultsite/faultinject"
+)
+
+// declaredConst fires declared sites by their constants: legal.
+func declaredConst(x float64) float64 {
+	if faultinject.Hit(faultinject.SiteSolveEntry) {
+		return 0
+	}
+	return faultinject.CorruptNaN(faultinject.SiteSweepMerge, x)
+}
+
+// declaredLiteral fires a raw string that matches a declared site's value:
+// legal (constant folding sees through it), if poor style.
+func declaredLiteral() bool {
+	return faultinject.Hit("solve.entry")
+}
+
+// generated builds per-index sites through the declared Site* generator.
+func generated(i int) bool {
+	return faultinject.Hit(faultinject.SiteJob(i))
+}
+
+// armDeclared arms a rule for a declared site: legal.
+func armDeclared() {
+	faultinject.Arm(faultinject.Rule{Site: faultinject.SiteSolveEntry, Count: 1})
+}
+
+// typoHit fires a site nobody declared: the hook is dead and no test can
+// ever arm it.
+func typoHit() bool {
+	return faultinject.Hit("solve.entyr") // want `fault site "solve.entyr" is not declared`
+}
+
+// armTypo arms a rule for a misspelled site: it will never fire.
+func armTypo() {
+	faultinject.Arm(faultinject.Rule{Site: "sweep.mrege", Count: 1}) // want `fault site "sweep.mrege" is not declared`
+}
+
+// dynamicSite passes a runtime value: tests cannot target it and the
+// registry cannot vouch for it.
+func dynamicSite(name string) bool {
+	return faultinject.Hit(name) // want `fault site name is not a constant`
+}
+
+func localSiteName() string { return "solve.entry" }
+
+// helperSite routes the name through a non-Site helper, which defeats the
+// registry just as thoroughly.
+func helperSite() bool {
+	return faultinject.Hit(localSiteName()) // want `not a declared faultinject Site\* helper`
+}
+
+// allowedExperimental stages a site ahead of its declaration, with a
+// reasoned suppression.
+func allowedExperimental() bool {
+	//bbvet:allow faultsite staged rollout: site constant lands with the follow-up fault PR
+	return faultinject.Hit("solve.experimental")
+}

@@ -1,0 +1,40 @@
+// Fault tests reference sites by name; a typo on this side is worse than a
+// dead hook — the test "passes" while injecting nothing. Test files are
+// parsed without type information, so these checks are syntactic.
+package faultsite
+
+import (
+	"testing"
+
+	"repro/testdata/analysis/faultsite/faultinject"
+)
+
+func TestFaultArming(t *testing.T) {
+	faultinject.Arm(faultinject.Rule{Site: faultinject.SiteSolveEntry, Count: 1})
+	faultinject.Arm(faultinject.Rule{Site: "sweep.merge", Count: 1})
+	if !declaredConst(1) && !generated(3) {
+		t.Fatal("armed sites did not fire")
+	}
+
+	// The seeded typo: transposed letters in "solve.entry". No production
+	// code declares this site, so the rule arms nothing.
+	faultinject.Arm(faultinject.Rule{Site: "solve.entyr", Count: 1}) // want `test references fault site "solve.entyr".*vacuous`
+
+	if faultinject.Hit("sweep.mereg") { // want `test references fault site "sweep.mereg".*vacuous`
+		t.Fatal("typo'd site must never fire")
+	}
+
+	faultinject.Arm(faultinject.Rule{Site: faultinject.SiteMissing, Count: 1}) // want `test references faultinject\.SiteMissing, which is not declared`
+
+	if faultinject.Hit(faultinject.SiteJobb(7)) { // want `test builds a fault site with SiteJobb, which is not a declared Site\* helper`
+		t.Fatal("undeclared generator")
+	}
+
+	x := faultinject.CorruptNaN(faultinject.SiteSweepMerge, 1.0)
+	if x != x { // NaN check; fixture code, exactness intended
+		t.Log("corrupted")
+	}
+
+	//bbvet:allow faultsite forward-compat: site is declared by the follow-up fault PR
+	faultinject.Arm(faultinject.Rule{Site: "solve.future", Count: 1})
+}

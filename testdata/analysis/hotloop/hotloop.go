@@ -1,0 +1,74 @@
+// Package hotloop is a bbvet fixture: in //bbvet:hotpath functions, only
+// loop-carried costs are flagged — allocations inside a loop, map iteration
+// nested in another loop, and defers that accumulate per iteration. A setup
+// phase before the loop may allocate freely.
+package hotloop
+
+type point struct{ x, y float64 }
+
+func (p *point) reset() { p.x, p.y = 0, 0 }
+
+var sink []float64
+
+//bbvet:hotpath
+func loopAllocs(n int, xs []float64) float64 {
+	buf := make([]float64, n) // setup phase: runs once, legal
+	acc := 0.0
+	for i := 0; i < n; i++ {
+		tmp := make([]float64, 4)        // want `make is loop-carried`
+		grown := append(xs, 1.0)         // want `append is loop-carried`
+		p := new(float64)                // want `new is loop-carried`
+		lit := []float64{1, 2}           // want `composite literal is loop-carried`
+		q := &point{1, 2}                // want `address of composite literal is loop-carried`
+		f := func() float64 { return 0 } // want `closure is loop-carried`
+		acc += tmp[0] + grown[0] + *p + lit[0] + q.x + f() + buf[i]
+	}
+	return acc
+}
+
+//bbvet:hotpath
+func deferInLoop(ps []*point) {
+	for _, p := range ps {
+		defer p.reset() // want `defer in a loop of a hotpath function`
+	}
+}
+
+//bbvet:hotpath
+func nestedMapWalk(outer int, m map[int]float64) float64 {
+	acc := 0.0
+	for i := 0; i < outer; i++ {
+		for _, v := range m { // want `map iteration is loop-carried`
+			acc += v
+		}
+	}
+	return acc
+}
+
+//bbvet:hotpath
+func topLevelMapWalk(m map[int]float64) float64 {
+	acc := 0.0
+	for _, v := range m { // amortized once per call, not loop-carried
+		acc += v
+	}
+	return acc
+}
+
+// coldAlloc has no hotpath contract: loop allocations are fine here.
+func coldAlloc(n int) []float64 {
+	var out []float64
+	for i := 0; i < n; i++ {
+		out = append(out, float64(i))
+	}
+	return out
+}
+
+//bbvet:hotpath
+func allowedScratch(n int) float64 {
+	acc := 0.0
+	for i := 0; i < n; i++ {
+		//bbvet:allow hotloop amortized: backing array reaches capacity after the first iteration
+		sink = append(sink, acc)
+		acc++
+	}
+	return acc
+}

@@ -1,0 +1,114 @@
+// Package leakcheck is a bbvet fixture: goroutines must be joined on every
+// path to the launching function's exit, and pooled workers (go statements
+// with literal bodies inside a loop) must recover panics.
+package leakcheck
+
+import "sync"
+
+func work(i int) int { return i * i }
+
+// joinedPool is the canonical sweep-pool shape: workers recover through a
+// local wrapper and the pool is joined before return.
+func joinedPool(n int) []int {
+	results := make([]int, n)
+	runJob := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				results[i] = -1
+			}
+		}()
+		results[i] = work(i)
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			defer wg.Done()
+			runJob(i)
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// inlineRecover recovers directly in the worker body: also legal.
+func inlineRecover(n int) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			defer func() { _ = recover() }()
+			work(1)
+		}()
+	}
+	wg.Wait()
+}
+
+// deferJoined joins in a defer, which runs on every exit path.
+func deferJoined(cond bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	defer wg.Wait()
+	go func() { // single goroutine outside a loop: no recover required
+		defer wg.Done()
+		work(1)
+	}()
+	if cond {
+		return
+	}
+	work(2)
+}
+
+// channelJoined synchronizes through a result channel receive.
+func channelJoined() int {
+	ch := make(chan int, 1)
+	go func() { ch <- work(3) }()
+	return <-ch
+}
+
+// leaked can return while its goroutine still runs: nothing ever joins it.
+func leaked() {
+	go func() { // want `not joined on every path`
+		work(4)
+	}()
+}
+
+// leakedOnOnePath joins on the happy path but returns early without
+// waiting on the error path.
+func leakedOnOnePath(fail bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `not joined on every path`
+		defer wg.Done()
+		work(5)
+	}()
+	if fail {
+		return // leaks: the worker is still running
+	}
+	wg.Wait()
+}
+
+// unrecoveredPool joins its workers but lets one panicking job kill the
+// whole process.
+func unrecoveredPool(n int) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() { // want `no panic recovery`
+			defer wg.Done()
+			work(6)
+		}()
+	}
+	wg.Wait()
+}
+
+// listener is a deliberately long-lived goroutine with a reasoned allow.
+func listener(events chan int) {
+	//bbvet:allow leakcheck deliberate daemon: drains events for the process lifetime
+	go func() {
+		for range events {
+		}
+	}()
+}
