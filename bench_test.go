@@ -124,7 +124,7 @@ func BenchmarkPaperInstances(b *testing.B) {
 // BenchmarkScalability supports the polynomial-complexity claim: joint solve
 // time for pipelines of growing size.
 func BenchmarkScalability(b *testing.B) {
-	for _, n := range []int{5, 10, 20, 50, 100} {
+	for _, n := range []int{5, 10, 20, 50, 100, 200} {
 		b.Run(fmt.Sprintf("tasks=%d", n), func(b *testing.B) {
 			cfg := gen.Chain(gen.ChainOptions{Tasks: n})
 			for i := 0; i < b.N; i++ {
@@ -133,6 +133,94 @@ func BenchmarkScalability(b *testing.B) {
 					b.Fatalf("%v %v", r.Status, err)
 				}
 			}
+		})
+	}
+	// Beyond the banded chain: wide fan-out (two high-degree KKT rows) and
+	// irregular random DAGs, the large-instance topologies from bbgen.
+	for _, tc := range []struct {
+		name string
+		cfg  *taskgraph.Config
+	}{
+		{"fanout=200", gen.FanOut(gen.FanOutOptions{Width: 200})},
+		{"dag=200", gen.RandomDAG(gen.DAGOptions{Seed: 1, Tasks: 200})},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := core.Solve(context.Background(), tc.cfg, core.Options{SkipVerification: true})
+				if err != nil || r.Status != core.StatusOptimal {
+					b.Fatalf("%v %v", r.Status, err)
+				}
+			}
+		})
+	}
+}
+
+// sweepWarmCaps is the cap grid of BenchmarkSweepWarmVsCold and
+// BenchmarkDSEBisect: a 60-point resolution pass over the knee and plateau
+// of chain-100's budget/buffer trade-off curve.
+func sweepWarmCaps() []int {
+	caps := make([]int, 60)
+	for i := range caps {
+		caps[i] = i + 8
+	}
+	return caps
+}
+
+// BenchmarkSweepWarmVsCold measures the reuse layer end to end on a
+// chain-100 trade-off sweep: "cold" disables both the warm starts and the
+// pattern cache (every point pays symbolic analysis, workspace allocation,
+// and a from-scratch interior-point run — the pre-reuse behavior), "warm"
+// is the default sweep path, where neighboring points share one pattern
+// cache and hand their solution forward as the next point's starting
+// iterate. Parallelism is pinned to 1 so the comparison is pure per-solve
+// work, not scheduling.
+func BenchmarkSweepWarmVsCold(b *testing.B) {
+	cfg := gen.Chain(gen.ChainOptions{Tasks: 100})
+	caps := sweepWarmCaps()
+	for _, mode := range []struct {
+		name string
+		opt  core.Options
+	}{
+		{"cold", core.Options{SkipVerification: true, Parallelism: 1, NoWarmStart: true, NoPatternCache: true}},
+		{"warm", core.Options{SkipVerification: true, Parallelism: 1, WarmChunk: len(caps)}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pts, err := core.SweepBufferCaps(context.Background(), cfg, nil, caps, mode.opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				iters := 0
+				for _, p := range pts {
+					if p.Result == nil || p.Result.Status != core.StatusOptimal {
+						b.Fatalf("cap %d: not optimal", p.Cap)
+					}
+					iters += p.Result.SolverIterations
+				}
+				once("sweepwarm-"+mode.name, func() {
+					b.Logf("%s: %d points, %d IPM iterations total", mode.name, len(pts), iters)
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkDSEBisect measures the O(log d) design-space-exploration mode
+// against the linear sweep it replaces: the smallest feasible cap out of
+// d = 64 candidates, found in ≤ 1 + ⌈log₂ d⌉ warm-started solves.
+func BenchmarkDSEBisect(b *testing.B) {
+	cfg := gen.Chain(gen.ChainOptions{Tasks: 100})
+	for i := 0; i < b.N; i++ {
+		res, err := core.DSEBisect(context.Background(), cfg, core.DSEOptions{MaxCap: 64},
+			core.Options{SkipVerification: true, Parallelism: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Cap < 1 || res.Solves > 7 {
+			b.Fatalf("cap %d in %d solves", res.Cap, res.Solves)
+		}
+		once("dsebisect", func() {
+			b.Logf("smallest feasible cap %d in %d solves", res.Cap, res.Solves)
 		})
 	}
 }

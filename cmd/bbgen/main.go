@@ -4,8 +4,11 @@
 //
 // Usage:
 //
-//	bbgen -preset t1|t2|chain|ring|random [-out cfg.json]
-//	      [-cap N] [-tasks N] [-procs N] [-jobs N] [-seed N]
+//	bbgen -preset t1|t2|chain|ring|fanout|dag|random [-out cfg.json]
+//	      [-cap N] [-n N] [-tasks N] [-procs N] [-jobs N] [-seed N]
+//
+// The chain, fanout, and dag presets scale to thousands of tasks (-n), the
+// large-instance topologies used by the cache and warm-start benchmarks.
 package main
 
 import (
@@ -27,16 +30,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("bbgen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		preset = fs.String("preset", "t1", "t1 | t2 | chain | ring | random")
+		preset = fs.String("preset", "t1", "t1 | t2 | chain | ring | fanout | dag | random")
 		out    = fs.String("out", "", "output file (default: stdout)")
 		cap    = fs.Int("cap", 0, "buffer capacity cap in containers (0 = uncapped)")
-		tasks  = fs.Int("tasks", 4, "tasks per chain/ring")
-		procs  = fs.Int("procs", 0, "shared processors for chain (0 = one per task)")
+		tasks  = fs.Int("tasks", 4, "tasks per chain/ring (legacy alias of -n)")
+		n      = fs.Int("n", 0, "size for chain/ring/fanout/dag: tasks, or fan-out width (overrides -tasks; scales to thousands)")
+		procs  = fs.Int("procs", 0, "shared processors for chain/fanout/dag (0 = one per task)")
 		jobs   = fs.Int("jobs", 2, "jobs for the random preset")
-		seed   = fs.Int64("seed", 1, "seed for the random preset")
+		seed   = fs.Int64("seed", 1, "seed for the random and dag presets")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	size := *tasks
+	if *n > 0 {
+		size = *n
 	}
 
 	var cfg *taskgraph.Config
@@ -46,9 +54,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case "t2":
 		cfg = gen.PaperT2(*cap)
 	case "chain":
-		cfg = gen.Chain(gen.ChainOptions{Tasks: *tasks, SharedProcessors: *procs, MaxContainers: *cap})
+		cfg = gen.Chain(gen.ChainOptions{Tasks: size, SharedProcessors: *procs, MaxContainers: *cap})
 	case "ring":
-		cfg = gen.Ring(*tasks, 2)
+		cfg = gen.Ring(size, 2)
+	case "fanout":
+		cfg = gen.FanOut(gen.FanOutOptions{Width: size, SharedProcessors: *procs, MaxContainers: *cap})
+	case "dag":
+		cfg = gen.RandomDAG(gen.DAGOptions{Seed: *seed, Tasks: size, SharedProcessors: *procs, MaxContainers: *cap})
 	case "random":
 		cfg = gen.RandomJobs(gen.RandomOptions{Seed: *seed, Jobs: *jobs})
 	default:

@@ -11,7 +11,7 @@ import (
 )
 
 func TestGenPresetsToStdout(t *testing.T) {
-	for _, preset := range []string{"t1", "t2", "chain", "ring", "random"} {
+	for _, preset := range []string{"t1", "t2", "chain", "ring", "fanout", "dag", "random"} {
 		var out, errb bytes.Buffer
 		if code := run([]string{"-preset", preset}, &out, &errb); code != 0 {
 			t.Fatalf("%s: exit %d: %s", preset, code, errb.String())
@@ -65,5 +65,28 @@ func TestGenErrors(t *testing.T) {
 	}
 	if code := run([]string{"-preset", "t1", "-out", "/nonexistent-dir/x.json"}, &out, &errb); code != 1 {
 		t.Fatalf("unwritable out: exit %d", code)
+	}
+}
+
+func TestGenLargeInstances(t *testing.T) {
+	for _, tc := range []struct {
+		args      []string
+		wantTasks int
+	}{
+		{[]string{"-preset", "chain", "-n", "1500"}, 1500},
+		{[]string{"-preset", "fanout", "-n", "1000", "-procs", "8"}, 1002},
+		{[]string{"-preset", "dag", "-n", "1200", "-seed", "9"}, 1200},
+	} {
+		var out, errb bytes.Buffer
+		if code := run(tc.args, &out, &errb); code != 0 {
+			t.Fatalf("%v: exit %d: %s", tc.args, code, errb.String())
+		}
+		var cfg taskgraph.Config
+		if err := json.Unmarshal(out.Bytes(), &cfg); err != nil {
+			t.Fatalf("%v: %v", tc.args, err)
+		}
+		if got := len(cfg.Graphs[0].Tasks); got != tc.wantTasks {
+			t.Fatalf("%v: %d tasks, want %d", tc.args, got, tc.wantTasks)
+		}
 	}
 }

@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	bbtrade -experiment fig2a|fig2b|fig3|runtime|scalability|compare|ablation|pareto|all
+//	bbtrade -experiment fig2a|fig2b|fig3|runtime|scalability|compare|ablation|pareto|latency|dse|all
 //	        [-csv] [-parallel N] [-factor auto|sparse|dense|densekkt]
+//	        [-dse-tasks N] [-dse-cap D] [-dse-bound B]
 //	        [-cpuprofile FILE] [-memprofile FILE]
 package main
 
@@ -14,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/bits"
 	"os"
 	"os/signal"
 	"runtime"
@@ -38,7 +40,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		exp = fs.String("experiment", "all",
-			"fig2a | fig2b | fig3 | runtime | scalability | compare | ablation | pareto | latency | all")
+			"fig2a | fig2b | fig3 | runtime | scalability | compare | ablation | pareto | latency | dse | all")
 		csv      = fs.Bool("csv", false, "emit CSV instead of tables/plots")
 		parallel = fs.Int("parallel", 0,
 			"worker pool size for sweep experiments (0 = GOMAXPROCS, 1 = sequential)")
@@ -47,6 +49,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file after the experiments finish")
 		timeout    = fs.Duration("timeout", 0, "abort the experiments after this duration (0 = no limit)")
+		dseTasks   = fs.Int("dse-tasks", 100, "dse: chain length of the explored instance")
+		dseCap     = fs.Int("dse-cap", 64, "dse: largest buffer capacity considered (the d of O(log d))")
+		dseBound   = fs.Float64("dse-bound", 0, "dse: total budget bound a capacity must meet to count as feasible (0 = any optimal solve)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -175,6 +180,32 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			}
 			fmt.Fprintln(stdout, "Latency/budget trade-off on T1 (wa → wb bound):")
 			fmt.Fprintln(stdout, experiments.RenderLatencyTradeoff(points))
+		case "dse":
+			// The PREESM-style dichotomy: smallest buffer capacity that still
+			// admits a feasible mapping (optionally under a budget bound), in
+			// O(log d) warm-started solves instead of a d-point sweep.
+			cfg := gen.Chain(gen.ChainOptions{Tasks: *dseTasks})
+			res, err := core.DSEBisect(ctx, cfg, core.DSEOptions{MaxCap: *dseCap, BudgetBound: *dseBound}, opt)
+			if err != nil {
+				fmt.Fprintln(stderr, "bbtrade:", err)
+				return 1
+			}
+			tb := textplot.NewTable("probe", "cap", "feasible", "total budget")
+			for i, p := range res.Probes {
+				tb.AddRow(i+1, p.Cap, p.OK, p.BudgetSum)
+			}
+			if *csv {
+				fmt.Fprint(stdout, tb.CSV())
+				return 0
+			}
+			fmt.Fprintf(stdout, "DSE bisection over %s, caps 1..%d (≤ %d solves allowed):\n",
+				cfg.Name, *dseCap, 1+bits.Len(uint(*dseCap-1)))
+			fmt.Fprintln(stdout, tb.String())
+			if res.Cap < 0 {
+				fmt.Fprintf(stdout, "no feasible capacity ≤ %d (settled in %d solve)\n", *dseCap, res.Solves)
+			} else {
+				fmt.Fprintf(stdout, "smallest feasible capacity: %d (found in %d solves)\n", res.Cap, res.Solves)
+			}
 		case "pareto":
 			points, err := core.ParetoFrontier(ctx, gen.PaperT1(0), 13, opt)
 			if err != nil {
@@ -199,7 +230,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *exp == "all" {
-		for _, name := range []string{"fig2a", "fig2b", "fig3", "runtime", "scalability", "compare", "ablation", "pareto", "latency"} {
+		for _, name := range []string{"fig2a", "fig2b", "fig3", "runtime", "scalability", "compare", "ablation", "pareto", "latency", "dse"} {
 			fmt.Fprintf(stdout, "=== %s ===\n", name)
 			if code := runOne(name); code != 0 {
 				return code

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Example CPU @ 2.00GHz
+BenchmarkSweepWarmVsCold/cold-8   	       1	2048123456 ns/op
+BenchmarkSweepWarmVsCold/warm-8   	       1	 316123456 ns/op	     120 B/op	       4 allocs/op
+--- BENCH: BenchmarkSweepWarmVsCold/warm-8
+    bench_test.go:200: total IPM iterations: 48
+BenchmarkDSEBisect-8              	       1	 240000000 ns/op
+PASS
+ok  	repro	3.1s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, strings.NewReader(sample), &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.GOOS != "linux" || rep.GOARCH != "amd64" || rep.Pkg != "repro" || rep.CPU == "" {
+		t.Fatalf("metadata: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("%d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	warm := rep.Benchmarks[1]
+	if warm.Name != "BenchmarkSweepWarmVsCold/warm-8" || warm.Iterations != 1 {
+		t.Fatalf("warm entry: %+v", warm)
+	}
+	if warm.Metrics["ns/op"] != 316123456 || warm.Metrics["B/op"] != 120 || warm.Metrics["allocs/op"] != 4 {
+		t.Fatalf("warm metrics: %+v", warm.Metrics)
+	}
+}
+
+func TestWriteToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-out", path}, strings.NewReader(sample), &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("%d benchmarks, want 3", len(rep.Benchmarks))
+	}
+}
+
+func TestNoBenchmarksFails(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, strings.NewReader("PASS\nok\trepro\t0.1s\n"), &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "no benchmark result lines") {
+		t.Fatalf("stderr: %s", errb.String())
+	}
+}
+
+func TestMalformedLinesIgnored(t *testing.T) {
+	in := "BenchmarkGood-4 2 100 ns/op\nBenchmarkBadIters-4 x 100 ns/op\nBenchmarkOddFields-4 2 100\n"
+	var out, errb bytes.Buffer
+	if code := run(nil, strings.NewReader(in), &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 || rep.Benchmarks[0].Name != "BenchmarkGood-4" {
+		t.Fatalf("benchmarks: %+v", rep.Benchmarks)
+	}
+}

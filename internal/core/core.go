@@ -72,6 +72,35 @@ type Options struct {
 	// select GOMAXPROCS; 1 forces sequential execution. Results are ordered
 	// deterministically either way.
 	Parallelism int
+	// NoWarmStart disables warm-start threading between neighboring sweep
+	// points: every solve runs from the cold least-squares starting point,
+	// bit-identical to solving each point independently. The default (warm
+	// starts on) converges to the same mappings within solver tolerance in a
+	// fraction of the iterations.
+	NoWarmStart bool
+	// NoPatternCache disables the shared pattern-keyed symbolic cache the
+	// sweep drivers thread through their solves. The cache only changes
+	// where the solver's buffers come from — never any computed value — so
+	// this switch exists for isolation and benchmarking, not correctness.
+	NoPatternCache bool
+	// WarmChunk is the length of the sequential warm-start chains a sweep is
+	// partitioned into (default 8; values < 1 select the default). Chunks
+	// run in parallel on the worker pool; within a chunk the points run in
+	// order, each warm-started from its predecessor. The chunk length is
+	// part of the sweep's definition — never derived from Parallelism or
+	// the machine — so sweep outputs are bitwise reproducible at any
+	// parallelism. Larger chunks warm-start more points per chain (faster
+	// sequentially, less parallel); a sweep's point count caps the useful
+	// value.
+	WarmChunk int
+}
+
+// warmChunk returns the effective warm-chain length.
+func (o Options) warmChunk() int {
+	if o.WarmChunk < 1 {
+		return 8
+	}
+	return o.WarmChunk
 }
 
 // Result is the outcome of Solve.

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/socp"
 	"repro/internal/taskgraph"
 )
 
@@ -59,10 +60,14 @@ func ParetoFrontier(ctx context.Context, c *taskgraph.Config, steps int, opt Opt
 		bufferMean = 1
 	}
 
-	// The per-ratio solves are independent; run them on the bounded worker
-	// pool. Ordering stays deterministic because RunSweep returns results in
-	// input order and the non-optimal filter below preserves it.
-	solved, sweepErr := RunSweep(ctx, steps, opt.Parallelism, func(ctx context.Context, i int) (ParetoPoint, error) {
+	// The per-ratio solves run on the bounded worker pool, warm-started in
+	// chunks (neighboring ratios differ only in the objective, so the
+	// previous ratio's interior point is an excellent seed) and sharing one
+	// pattern cache. Ordering stays deterministic because the chunked runner
+	// returns results in input order and the non-optimal filter below
+	// preserves it.
+	sweepCache(&opt)
+	solved, sweepErr := runWarmChunks(ctx, steps, opt, func(ctx context.Context, i int, warm *socp.WarmStart) (ParetoPoint, *socp.WarmStart, error) {
 		// ratio from 1e-3 to 1e+3 in log space.
 		exp := -3 + 6*float64(i)/float64(steps-1)
 		ratio := math.Pow(10, exp)
@@ -75,13 +80,13 @@ func ParetoFrontier(ctx context.Context, c *taskgraph.Config, steps int, opt Opt
 				tg.Buffers[j].SizeWeight = tg.Buffers[j].EffectiveSizeWeight() / bufferMean
 			}
 		}
-		r, err := Solve(ctx, cc, opt)
+		r, w, err := solveWarm(ctx, cc, opt, warm)
 		if err != nil {
-			return ParetoPoint{}, err
+			return ParetoPoint{}, nil, err
 		}
 		pt := ParetoPoint{WeightRatio: ratio, Result: r}
 		if r.Status != StatusOptimal {
-			return pt, nil // filtered below; infeasible stays infeasible at every ratio
+			return pt, w, nil // filtered below; infeasible stays infeasible at every ratio
 		}
 		// Sum in declaration order, not map order: float addition is not
 		// associative in the bits, so map iteration would make the totals
@@ -95,7 +100,7 @@ func ParetoFrontier(ctx context.Context, c *taskgraph.Config, steps int, opt Opt
 				pt.MemoryTotal += r.Mapping.Capacities[bf.Name] * bf.EffectiveContainerSize()
 			}
 		}
-		return pt, nil
+		return pt, w, nil
 	})
 	// Surface the frontier of whatever completed even when the sweep was
 	// cut short; skipped points have a nil Result.

@@ -30,6 +30,11 @@ type SolveAttempt struct {
 	// KKTReg is the static regularization requested from the solver
 	// (0 means the solver default).
 	KKTReg float64
+	// Warm reports that the attempt ran from a caller-supplied warm start.
+	// Ladder rungs after the first warm attempt always run cold: a bad warm
+	// start is itself a plausible cause of numerical failure, so dropping it
+	// is the cheapest recovery of all and precedes any backend change.
+	Warm bool
 	// Status is the solver's outcome for this attempt.
 	Status socp.Status
 	// Err carries a hard solver error ("" when the solver returned a
@@ -70,12 +75,21 @@ func backendName(opt socp.Options) string {
 
 // ladder returns the solver configurations to try in order: the caller's
 // own options first (so unfaulted solves are bit-identical to a direct
-// socp.Solve), then escalated regularization on the same backend, then the
-// dense factorization, then the all-dense oracle — skipping rungs the
-// starting configuration already is at or past.
+// socp.Solve), then — when the first attempt was warm-started — the same
+// configuration from the cold start, then escalated regularization on the
+// same backend, then the dense factorization, then the all-dense oracle —
+// skipping rungs the starting configuration already is at or past. Every
+// rung after the first runs cold: reusing a warm start that just failed
+// would re-import the failure.
 func ladder(opt socp.Options) []socp.Options {
 	steps := []socp.Options{opt}
+	if opt.WarmStart != nil {
+		cold := opt
+		cold.WarmStart = nil
+		steps = append(steps, cold)
+	}
 	esc := opt
+	esc.WarmStart = nil
 	if esc.KKTReg == 0 {
 		esc.KKTReg = 1e-13 // the solver's own default, made explicit to scale
 	}
@@ -122,6 +136,7 @@ func solveConic(ctx context.Context, prob *socp.Problem, opt socp.Options) (*soc
 		a := SolveAttempt{
 			Backend:  backendName(aopt),
 			KKTReg:   aopt.KKTReg,
+			Warm:     aopt.WarmStart != nil,
 			Duration: time.Since(start),
 		}
 		if sol != nil {

@@ -36,15 +36,30 @@ func BuildProblem(c *taskgraph.Config) (*socp.Problem, error) {
 // every attempt is recorded in Result.Report. On instances that do not need
 // recovery, the result is identical to a single direct solver call.
 func Solve(ctx context.Context, c *taskgraph.Config, opt Options) (*Result, error) {
+	res, _, err := solveWarm(ctx, c, opt, nil)
+	return res, err
+}
+
+// solveWarm is Solve plus warm-start threading: warm (which may be nil, the
+// cold start) seeds the solver's initial iterate, and the second return
+// value is the raw interior point of this solve's optimum for seeding the
+// next neighboring solve — nil when the solve did not end in a reusable
+// point or warm starts are disabled. The sweep drivers chain solves through
+// it; Solve itself is solveWarm with both sides cold.
+func solveWarm(ctx context.Context, c *taskgraph.Config, opt Options, warm *socp.WarmStart) (*Result, *socp.WarmStart, error) {
 	m, err := buildModel(c, nil)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	prob, err := m.b.Build()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	sol, report, err := solveConic(ctx, prob, opt.Solver)
+	sopt := opt.Solver
+	if warm != nil && !opt.NoWarmStart {
+		sopt.WarmStart = warm
+	}
+	sol, report, err := solveConic(ctx, prob, sopt)
 	res := &Result{Report: report}
 	if err != nil {
 		res.Status = StatusError
@@ -52,7 +67,11 @@ func Solve(ctx context.Context, c *taskgraph.Config, opt Options) (*Result, erro
 			res.SolverStatus = sol.Status
 			res.SolverIterations = sol.Iterations
 		}
-		return res, err
+		return res, nil, err
+	}
+	var warmOut *socp.WarmStart
+	if !opt.NoWarmStart {
+		warmOut = sol.Warm()
 	}
 	res.SolverStatus = sol.Status
 	res.SolverIterations = sol.Iterations
@@ -61,13 +80,13 @@ func Solve(ctx context.Context, c *taskgraph.Config, opt Options) (*Result, erro
 		// proceed
 	case socp.StatusPrimalInfeasible:
 		res.Status = StatusInfeasible
-		return res, nil
+		return res, nil, nil
 	case socp.StatusCanceled:
 		res.Status = StatusCanceled
-		return res, nil
+		return res, nil, nil
 	default:
 		res.Status = StatusError
-		return res, nil
+		return res, nil, nil
 	}
 
 	res.ContinuousObjective = sol.PrimalObj
@@ -108,17 +127,17 @@ func Solve(ctx context.Context, c *taskgraph.Config, opt Options) (*Result, erro
 	if !opt.SkipVerification {
 		v, err := dfmodel.Verify(c, mapping)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		res.Verification = v
 		if !v.OK {
 			// Should be unreachable given the conservative rounding; if it
 			// happens it is a bug worth surfacing loudly.
 			res.Status = StatusError
-			return res, fmt.Errorf("core: rounded mapping failed verification: %v", v.Problems)
+			return res, nil, fmt.Errorf("core: rounded mapping failed verification: %v", v.Problems)
 		}
 	}
-	return res, nil
+	return res, warmOut, nil
 }
 
 // objective evaluates the paper's weighted cost (5) on a rounded mapping,

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/socp"
 	"repro/internal/taskgraph"
 )
 
@@ -21,12 +22,15 @@ type TradeoffPoint struct {
 // experiments do: it solves the configuration once per cap value, with the
 // cap applied as MaxContainers to the named buffers (all buffers when
 // buffers is nil). The input configuration is not modified. The per-cap
-// solves are independent and run on a worker pool bounded by
-// Options.Parallelism, with deterministic output ordering.
+// solves run on a worker pool bounded by Options.Parallelism, with
+// deterministic output ordering; neighboring points share warm starts and a
+// pattern-keyed symbolic cache (see Options.NoWarmStart, NoPatternCache,
+// and WarmChunk), which changes solve times but not — beyond solver
+// tolerance — the mappings, and not at all when both are disabled.
 //
 // Canceling the context stops the sweep promptly; the completed points are
 // still returned (unfinished points have a nil Result) together with the
-// aggregated error from RunSweep.
+// aggregated error from the worker pool.
 func SweepBufferCaps(ctx context.Context, c *taskgraph.Config, buffers []string, caps []int, opt Options) ([]TradeoffPoint, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
@@ -55,7 +59,8 @@ func SweepBufferCaps(ctx context.Context, c *taskgraph.Config, buffers []string,
 			return nil, fmt.Errorf("core: swept buffer %q not found in configuration", b)
 		}
 	}
-	return RunSweep(ctx, len(caps), opt.Parallelism, func(ctx context.Context, i int) (TradeoffPoint, error) {
+	sweepCache(&opt)
+	return runWarmChunks(ctx, len(caps), opt, func(ctx context.Context, i int, warm *socp.WarmStart) (TradeoffPoint, *socp.WarmStart, error) {
 		cc := c.Clone()
 		for _, tg := range cc.Graphs {
 			for j := range tg.Buffers {
@@ -64,11 +69,11 @@ func SweepBufferCaps(ctx context.Context, c *taskgraph.Config, buffers []string,
 				}
 			}
 		}
-		r, err := Solve(ctx, cc, opt)
+		r, w, err := solveWarm(ctx, cc, opt, warm)
 		if err != nil {
-			return TradeoffPoint{}, err
+			return TradeoffPoint{}, nil, err
 		}
-		return TradeoffPoint{Cap: caps[i], Result: r}, nil
+		return TradeoffPoint{Cap: caps[i], Result: r}, w, nil
 	})
 }
 

@@ -146,6 +146,165 @@ func Chain(opt ChainOptions) *taskgraph.Config {
 	return c
 }
 
+// FanOutOptions parameterizes FanOut.
+type FanOutOptions struct {
+	// Width is the number of parallel workers (≥ 1); the graph has
+	// Width + 2 tasks (source → workers → sink).
+	Width int
+	// Replenishment is ϱ for every processor (default 40).
+	Replenishment float64
+	// WCET is χ for every task (default 1).
+	WCET float64
+	// Period is µ (default 10).
+	Period float64
+	// SharedProcessors, when positive, binds the tasks round-robin onto this
+	// many processors instead of one private processor per task.
+	SharedProcessors int
+	// MaxContainers caps every buffer (0 = uncapped).
+	MaxContainers int
+}
+
+// FanOut builds a wide scatter/gather graph: a source task feeding Width
+// parallel workers that merge into a sink (2·Width buffers). With Width in
+// the thousands it exercises sparsity patterns a deep chain never shows:
+// two high-degree rows instead of a banded diagonal.
+func FanOut(opt FanOutOptions) *taskgraph.Config {
+	if opt.Width < 1 {
+		panic("gen: fan-out needs at least one worker")
+	}
+	co := ChainOptions{
+		Replenishment: opt.Replenishment, WCET: opt.WCET, Period: opt.Period,
+	}.withDefaults()
+	n := opt.Width + 2
+	nProcs := n
+	if opt.SharedProcessors > 0 {
+		nProcs = opt.SharedProcessors
+	}
+	c := &taskgraph.Config{
+		Name:        fmt.Sprintf("fanout-%d", opt.Width),
+		Memories:    []taskgraph.Memory{{Name: "m1", Capacity: 1 << 30}},
+		Granularity: taskgraph.DefaultGranularity,
+	}
+	for i := 0; i < nProcs; i++ {
+		c.Processors = append(c.Processors, taskgraph.Processor{
+			Name: fmt.Sprintf("p%d", i), Replenishment: co.Replenishment,
+		})
+	}
+	tg := &taskgraph.TaskGraph{Name: fmt.Sprintf("fanout%d", opt.Width), Period: co.Period}
+	task := func(i int) string { return fmt.Sprintf("w%d", i) }
+	for i := 0; i < n; i++ {
+		tg.Tasks = append(tg.Tasks, taskgraph.Task{
+			Name:      task(i),
+			Processor: fmt.Sprintf("p%d", i%nProcs),
+			WCET:      co.WCET,
+		})
+	}
+	for k := 0; k < opt.Width; k++ {
+		w := task(k + 1)
+		tg.Buffers = append(tg.Buffers,
+			taskgraph.Buffer{
+				Name: fmt.Sprintf("bs%d", k), From: task(0), To: w,
+				Memory: "m1", MaxContainers: opt.MaxContainers,
+			},
+			taskgraph.Buffer{
+				Name: fmt.Sprintf("bt%d", k), From: w, To: task(n - 1),
+				Memory: "m1", MaxContainers: opt.MaxContainers,
+			})
+	}
+	c.Graphs = []*taskgraph.TaskGraph{tg}
+	return c
+}
+
+// DAGOptions parameterizes RandomDAG.
+type DAGOptions struct {
+	Seed int64
+	// Tasks is the number of tasks (≥ 2).
+	Tasks int
+	// ExtraEdges adds this many random forward skip edges on top of the
+	// spanning edges that keep the DAG connected (default Tasks/2).
+	ExtraEdges int
+	// Replenishment is ϱ for every processor (default 40).
+	Replenishment float64
+	// WCET is χ for every task (default 1).
+	WCET float64
+	// Period is µ (default 10).
+	Period float64
+	// SharedProcessors, when positive, binds the tasks round-robin onto this
+	// many processors instead of one private processor per task.
+	SharedProcessors int
+	// MaxContainers caps every buffer (0 = uncapped).
+	MaxContainers int
+}
+
+// RandomDAG builds a random connected single-rate DAG over Tasks tasks in a
+// fixed topological order: every task (but the first) consumes from one
+// uniformly chosen earlier task, and ExtraEdges additional forward edges are
+// sprinkled on top (duplicates between the same pair are skipped). The
+// result is deterministic in the seed and scales to thousands of tasks,
+// giving the cache and warm-start benchmarks irregular sparsity patterns
+// between the chain and fan-out extremes.
+func RandomDAG(opt DAGOptions) *taskgraph.Config {
+	if opt.Tasks < 2 {
+		panic("gen: random DAG needs at least two tasks")
+	}
+	co := ChainOptions{
+		Replenishment: opt.Replenishment, WCET: opt.WCET, Period: opt.Period,
+	}.withDefaults()
+	n := opt.Tasks
+	extra := opt.ExtraEdges
+	if extra == 0 {
+		extra = n / 2
+	}
+	nProcs := n
+	if opt.SharedProcessors > 0 {
+		nProcs = opt.SharedProcessors
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	c := &taskgraph.Config{
+		Name:        fmt.Sprintf("dag-%d-%d", n, opt.Seed),
+		Memories:    []taskgraph.Memory{{Name: "m1", Capacity: 1 << 30}},
+		Granularity: taskgraph.DefaultGranularity,
+	}
+	for i := 0; i < nProcs; i++ {
+		c.Processors = append(c.Processors, taskgraph.Processor{
+			Name: fmt.Sprintf("p%d", i), Replenishment: co.Replenishment,
+		})
+	}
+	tg := &taskgraph.TaskGraph{Name: fmt.Sprintf("dag%d", n), Period: co.Period}
+	for i := 0; i < n; i++ {
+		tg.Tasks = append(tg.Tasks, taskgraph.Task{
+			Name:      fmt.Sprintf("w%d", i),
+			Processor: fmt.Sprintf("p%d", i%nProcs),
+			WCET:      co.WCET,
+		})
+	}
+	seen := map[[2]int]bool{}
+	addBuf := func(from, to int) {
+		if seen[[2]int{from, to}] {
+			return
+		}
+		seen[[2]int{from, to}] = true
+		tg.Buffers = append(tg.Buffers, taskgraph.Buffer{
+			Name:          fmt.Sprintf("b%d", len(tg.Buffers)),
+			From:          fmt.Sprintf("w%d", from),
+			To:            fmt.Sprintf("w%d", to),
+			Memory:        "m1",
+			MaxContainers: opt.MaxContainers,
+		})
+	}
+	for i := 1; i < n; i++ {
+		addBuf(rng.Intn(i), i)
+	}
+	for k := 0; k < extra; k++ {
+		from, to := rng.Intn(n), rng.Intn(n)
+		if from < to {
+			addBuf(from, to)
+		}
+	}
+	c.Graphs = []*taskgraph.TaskGraph{tg}
+	return c
+}
+
 // Ring builds a cyclic task graph w0 → w1 → … → w(n−1) → w0 where the
 // closing buffer starts with initialTokens filled containers (it must be
 // ≥ 1 or the graph deadlocks).

@@ -142,3 +142,66 @@ func TestRandomJobsRespectsShape(t *testing.T) {
 		}
 	}
 }
+
+func TestFanOutShapes(t *testing.T) {
+	for _, w := range []int{1, 4, 1000} {
+		c := FanOut(FanOutOptions{Width: w})
+		if err := c.Validate(); err != nil {
+			t.Fatalf("width %d: %v", w, err)
+		}
+		tg := c.Graphs[0]
+		if len(tg.Tasks) != w+2 || len(tg.Buffers) != 2*w {
+			t.Fatalf("width %d: %d tasks, %d buffers", w, len(tg.Tasks), len(tg.Buffers))
+		}
+	}
+	c := FanOut(FanOutOptions{Width: 8, SharedProcessors: 3, MaxContainers: 5})
+	if len(c.Processors) != 3 {
+		t.Fatal("shared processors ignored")
+	}
+	for _, b := range c.Graphs[0].Buffers {
+		if b.MaxContainers != 5 {
+			t.Fatal("cap not applied")
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("width < 1 did not panic")
+		}
+	}()
+	FanOut(FanOutOptions{})
+}
+
+func TestRandomDAGValidAndDeterministic(t *testing.T) {
+	for _, n := range []int{2, 10, 500} {
+		c := RandomDAG(DAGOptions{Seed: 7, Tasks: n})
+		if err := c.Validate(); err != nil {
+			t.Fatalf("n %d: %v", n, err)
+		}
+		tg := c.Graphs[0]
+		if len(tg.Tasks) != n {
+			t.Fatalf("n %d: %d tasks", n, len(tg.Tasks))
+		}
+		// Connected: the spanning construction gives every task but the
+		// first an incoming buffer.
+		if len(tg.Buffers) < n-1 {
+			t.Fatalf("n %d: only %d buffers", n, len(tg.Buffers))
+		}
+	}
+	a, _ := json.Marshal(RandomDAG(DAGOptions{Seed: 11, Tasks: 40}))
+	b, _ := json.Marshal(RandomDAG(DAGOptions{Seed: 11, Tasks: 40}))
+	if string(a) != string(b) {
+		t.Fatal("RandomDAG not deterministic")
+	}
+	if string(a) == func() string {
+		d, _ := json.Marshal(RandomDAG(DAGOptions{Seed: 12, Tasks: 40}))
+		return string(d)
+	}() {
+		t.Fatal("seed has no effect")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("n < 2 did not panic")
+		}
+	}()
+	RandomDAG(DAGOptions{Tasks: 1})
+}

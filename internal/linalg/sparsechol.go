@@ -63,7 +63,7 @@ func (c *SparseCholesky) FactorizeQuasiDef(a *SparseMatrix, eps float64) error {
 
 //bbvet:hotpath
 func (c *SparseCholesky) checkPattern(a *SparseMatrix) {
-	if a.Rows != c.n || a.Cols != c.n || a.NNZ() != c.nnzA {
+	if a.Rows != c.sym.n || a.Cols != c.sym.n || a.NNZ() != c.sym.nnzA {
 		panic("linalg: SparseCholesky.Factorize pattern differs from the analyzed one")
 	}
 }
@@ -72,11 +72,15 @@ func (c *SparseCholesky) checkPattern(a *SparseMatrix) {
 // triangular system L[0:k,0:k] y = A_perm[0:k,k] whose nonzero pattern is
 // the union of elimination-tree paths from the column's entries — collected
 // in topological order via the flag stamps, so the sparse solve visits each
-// contributing column exactly once.
+// contributing column exactly once. The symbolic structure (up/ui/usrc,
+// etree, column pointers) is read through the shared immutable
+// SymbolicFactor; only this workspace's numeric buffers are written.
 //
 //bbvet:hotpath
 func (c *SparseCholesky) tryFactorize(a *SparseMatrix, shift float64, quasiDef bool, eps float64) bool {
-	n := c.n
+	sym := c.sym
+	n := sym.n
+	up, ui, usrc, parent, lp := sym.up, sym.ui, sym.usrc, sym.parent, sym.lp
 	y, pat, flag, lnz := c.y, c.pat, c.flag, c.lnz
 	y.Zero()
 	for k := range lnz {
@@ -85,11 +89,11 @@ func (c *SparseCholesky) tryFactorize(a *SparseMatrix, shift float64, quasiDef b
 	for k := 0; k < n; k++ {
 		top := n
 		flag[k] = k
-		for p := c.up[k]; p < c.up[k+1]; p++ {
-			i := c.ui[p]
-			y[i] += a.Val[c.usrc[p]]
+		for p := up[k]; p < up[k+1]; p++ {
+			i := ui[p]
+			y[i] += a.Val[usrc[p]]
 			ln := 0
-			for ; flag[i] != k; i = c.parent[i] {
+			for ; flag[i] != k; i = parent[i] {
 				pat[ln] = i
 				ln++
 				flag[i] = k
@@ -107,8 +111,8 @@ func (c *SparseCholesky) tryFactorize(a *SparseMatrix, shift float64, quasiDef b
 			yi := y[i]
 			y[i] = 0
 			lki := yi / c.d[i]
-			end := c.lp[i] + lnz[i]
-			for p := c.lp[i]; p < end; p++ {
+			end := lp[i] + lnz[i]
+			for p := lp[i]; p < end; p++ {
 				y[c.li[p]] -= c.lx[p] * yi
 			}
 			c.li[end] = k

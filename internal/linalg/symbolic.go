@@ -8,11 +8,13 @@ package linalg
 // D, specialized for the interior-point hot loop where the sparsity pattern
 // of A is fixed across iterations while its values change every step:
 //
-//   - NewSparseCholesky runs the *symbolic* phase once — the AMD ordering,
-//     the elimination tree, the per-column nonzero counts of L, and a
-//     permuted upper-triangular view of A's pattern with precomputed value
-//     sources — and preallocates every numeric workspace;
-//   - Factorize / FactorizeQuasiDef then perform the *numeric*
+//   - Analyze runs the *symbolic* phase once — the AMD ordering, the
+//     elimination tree, the per-column nonzero counts of L, and a permuted
+//     upper-triangular view of A's pattern with precomputed value sources —
+//     and returns an immutable SymbolicFactor shareable across any number of
+//     factorizations of matrices with the same pattern;
+//   - NewNumeric binds a SymbolicFactor to freshly allocated numeric
+//     workspaces; Factorize / FactorizeQuasiDef then perform the *numeric*
 //     refactorization only, in O(nnz(L) · row-width) with zero allocations;
 //   - Solve / SolveRefined are sparse triangular solves against the factor.
 //
@@ -22,6 +24,32 @@ package linalg
 // KKT matrices of the equality-constrained path, which are strongly
 // factorizable under any symmetric permutation.
 type SparseCholesky struct {
+	sym *SymbolicFactor
+
+	li []int // row indices of L, len sym.lp[n]
+	lx []float64
+	d  Vector // diagonal of D
+
+	shift float64 // extra diagonal regularization applied by the last Factorize
+
+	// Workspaces preallocated when the numeric side is bound.
+	y       Vector // sparse accumulator of the current row
+	pat     []int  // topologically ordered row pattern (etree paths)
+	flag    []int  // visitation stamps
+	lnz     []int  // per-column fill counters of the running factorization
+	w       Vector // permuted right-hand side in Solve
+	scratch Vector // refinement residual
+}
+
+// SymbolicFactor is the immutable symbolic phase of a sparse LDLᵀ
+// factorization: the fill-reducing ordering, the elimination tree, the
+// column pointers of L, and the permuted upper-triangular access plan into
+// the analyzed pattern. It depends only on the sparsity pattern of the
+// analyzed matrix — never on its values — so solves of different matrices
+// sharing a pattern (the sweep and serving workloads) can share one
+// SymbolicFactor across goroutines: all fields are written once by Analyze
+// and only read afterwards.
+type SymbolicFactor struct {
 	n    int
 	perm []int // perm[k] = original index of the k-th pivot
 	pinv []int // inverse permutation
@@ -39,28 +67,20 @@ type SparseCholesky struct {
 	nnzA int // pattern stamp checked by Factorize
 
 	lp []int // column pointers of L, len n+1
-	li []int // row indices of L, len lp[n]
-	lx []float64
-	d  Vector // diagonal of D
 
-	shift float64 // extra diagonal regularization applied by the last Factorize
-
-	// Workspaces preallocated at analysis time.
-	y       Vector // sparse accumulator of the current row
-	pat     []int  // topologically ordered row pattern (etree paths)
-	flag    []int  // visitation stamps
-	lnz     []int  // per-column fill counters of the running factorization
-	w       Vector // permuted right-hand side in Solve
-	scratch Vector // refinement residual
+	// The analyzed CSR pattern and its canonical hash, kept so a
+	// SymbolicCache can verify candidate matrices entry-for-entry instead of
+	// trusting the hash alone.
+	rowPtr []int
+	colIdx []int
+	hash   uint64
 }
 
-// NewSparseCholesky analyzes the pattern of the square, structurally
-// symmetric matrix a and returns a factorization workspace bound to that
-// pattern. perm overrides the fill-reducing ordering (mostly for tests);
-// nil selects AMDOrder. Factorize must be called before Solve, and every
-// matrix later passed to Factorize must carry the exact pattern analyzed
-// here.
-func NewSparseCholesky(a *SparseMatrix, perm []int) *SparseCholesky {
+// Analyze runs the symbolic phase on the pattern of the square, structurally
+// symmetric matrix a: AMD ordering (or the caller's perm override, mostly
+// for tests), elimination tree, per-column counts of L, and the permuted
+// upper-triangular access plan. The result is immutable and safe to share.
+func Analyze(a *SparseMatrix, perm []int) *SymbolicFactor {
 	if a.Rows != a.Cols {
 		panic("linalg: sparse Cholesky of non-square matrix")
 	}
@@ -71,33 +91,36 @@ func NewSparseCholesky(a *SparseMatrix, perm []int) *SparseCholesky {
 	if len(perm) != n {
 		panic("linalg: SparseCholesky ordering length mismatch")
 	}
-	c := &SparseCholesky{n: n, perm: perm, nnzA: a.NNZ()}
-	c.pinv = make([]int, n)
+	s := &SymbolicFactor{n: n, perm: perm, nnzA: a.NNZ()}
+	s.rowPtr = append([]int(nil), a.RowPtr...)
+	s.colIdx = append([]int(nil), a.ColIdx...)
+	s.hash = PatternHash(a)
+	s.pinv = make([]int, n)
 	for k, r := range perm {
-		c.pinv[r] = k
+		s.pinv[r] = k
 	}
 	// Permuted upper-triangular pattern with value sources: row perm[k] of
 	// the (symmetric) input supplies column k of the permuted matrix.
-	c.up = make([]int, n+1)
+	s.up = make([]int, n+1)
 	for k := 0; k < n; k++ {
 		r := perm[k]
 		cnt := 0
 		for t := a.RowPtr[r]; t < a.RowPtr[r+1]; t++ {
-			if c.pinv[a.ColIdx[t]] <= k {
+			if s.pinv[a.ColIdx[t]] <= k {
 				cnt++
 			}
 		}
-		c.up[k+1] = c.up[k] + cnt
+		s.up[k+1] = s.up[k] + cnt
 	}
-	c.ui = make([]int, c.up[n])
-	c.usrc = make([]int, c.up[n])
+	s.ui = make([]int, s.up[n])
+	s.usrc = make([]int, s.up[n])
 	pos := 0
 	for k := 0; k < n; k++ {
 		r := perm[k]
 		for t := a.RowPtr[r]; t < a.RowPtr[r+1]; t++ {
-			if i := c.pinv[a.ColIdx[t]]; i <= k {
-				c.ui[pos] = i
-				c.usrc[pos] = t
+			if i := s.pinv[a.ColIdx[t]]; i <= k {
+				s.ui[pos] = i
+				s.usrc[pos] = t
 				pos++
 			}
 		}
@@ -105,46 +128,99 @@ func NewSparseCholesky(a *SparseMatrix, perm []int) *SparseCholesky {
 	// Elimination tree and column counts of L: one elimination-tree path
 	// walk per stored entry (Liu's algorithm). Row k's subtree, cut off at
 	// already-visited nodes, is exactly the nonzero pattern of L's row k.
-	c.parent = make([]int, n)
-	c.flag = make([]int, n)
+	s.parent = make([]int, n)
+	flag := make([]int, n)
 	colCount := make([]int, n)
 	for k := 0; k < n; k++ {
-		c.parent[k] = -1
-		c.flag[k] = k
-		for p := c.up[k]; p < c.up[k+1]; p++ {
-			for i := c.ui[p]; c.flag[i] != k; i = c.parent[i] {
-				if c.parent[i] == -1 {
-					c.parent[i] = k
+		s.parent[k] = -1
+		flag[k] = k
+		for p := s.up[k]; p < s.up[k+1]; p++ {
+			for i := s.ui[p]; flag[i] != k; i = s.parent[i] {
+				if s.parent[i] == -1 {
+					s.parent[i] = k
 				}
 				colCount[i]++
-				c.flag[i] = k
+				flag[i] = k
 			}
 		}
 	}
-	c.lp = make([]int, n+1)
+	s.lp = make([]int, n+1)
 	for k := 0; k < n; k++ {
-		c.lp[k+1] = c.lp[k] + colCount[k]
+		s.lp[k+1] = s.lp[k] + colCount[k]
 	}
-	nl := c.lp[n]
-	c.li = make([]int, nl)
-	c.lx = make([]float64, nl)
-	c.d = NewVector(n)
-	c.y = NewVector(n)
-	c.pat = make([]int, n)
-	c.lnz = make([]int, n)
-	c.w = NewVector(n)
-	c.scratch = NewVector(n)
-	return c
+	return s
 }
+
+// NewNumeric allocates a numeric factorization workspace bound to the
+// symbolic structure. Factorize must be called before Solve, and every
+// matrix passed to Factorize must carry the exact pattern analyzed here.
+// The SymbolicFactor is shared, not copied; many NewNumeric workspaces may
+// factorize concurrently against one symbolic analysis.
+func (s *SymbolicFactor) NewNumeric() *SparseCholesky {
+	n := s.n
+	nl := s.lp[n]
+	return &SparseCholesky{
+		sym:     s,
+		li:      make([]int, nl),
+		lx:      make([]float64, nl),
+		d:       NewVector(n),
+		y:       NewVector(n),
+		pat:     make([]int, n),
+		flag:    make([]int, n),
+		lnz:     make([]int, n),
+		w:       NewVector(n),
+		scratch: NewVector(n),
+	}
+}
+
+// Matches reports whether a carries exactly the analyzed pattern: same
+// shape, same row pointers, same column indices. Used by SymbolicCache to
+// rule out hash collisions; O(nnz), far below the cost of a re-analysis.
+func (s *SymbolicFactor) Matches(a *SparseMatrix) bool {
+	if a.Rows != s.n || a.Cols != s.n || a.NNZ() != s.nnzA {
+		return false
+	}
+	for i, p := range a.RowPtr {
+		if s.rowPtr[i] != p {
+			return false
+		}
+	}
+	for i, c := range a.ColIdx {
+		if s.colIdx[i] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// N returns the analyzed dimension.
+func (s *SymbolicFactor) N() int { return s.n }
 
 // NNZL returns the number of stored below-diagonal entries of L — the
 // symbolic fill the ordering achieved (the diagonal is implicit).
-func (c *SparseCholesky) NNZL() int { return c.lp[c.n] }
+func (s *SymbolicFactor) NNZL() int { return s.lp[s.n] }
+
+// Hash returns the canonical pattern hash of the analyzed matrix.
+func (s *SymbolicFactor) Hash() uint64 { return s.hash }
+
+// NewSparseCholesky analyzes the pattern of the square, structurally
+// symmetric matrix a and returns a factorization workspace bound to that
+// pattern: Analyze followed by NewNumeric. perm overrides the fill-reducing
+// ordering (mostly for tests); nil selects AMDOrder.
+func NewSparseCholesky(a *SparseMatrix, perm []int) *SparseCholesky {
+	return Analyze(a, perm).NewNumeric()
+}
+
+// Symbolic returns the shared symbolic phase of the factorization.
+func (c *SparseCholesky) Symbolic() *SymbolicFactor { return c.sym }
+
+// NNZL returns the number of stored below-diagonal entries of L.
+func (c *SparseCholesky) NNZL() int { return c.sym.NNZL() }
 
 // Perm returns a copy of the fill-reducing ordering in use. (A copy: the
 // live ordering is part of the factorization's fixed pattern and must not
 // be aliased by callers.)
-func (c *SparseCholesky) Perm() []int { return append([]int(nil), c.perm...) }
+func (c *SparseCholesky) Perm() []int { return append([]int(nil), c.sym.perm...) }
 
 // Shift returns the extra diagonal regularization the last Factorize had to
 // apply beyond its static shift (0 if the matrix factorized cleanly).

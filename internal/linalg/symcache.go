@@ -1,0 +1,192 @@
+package linalg
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// PatternHash returns a canonical 64-bit hash of a matrix's sparsity
+// pattern — shape, row pointers, and column indices; never the values. Two
+// matrices with equal patterns hash equally on any platform and across
+// process runs (the hash is a pure FNV-1a fold, no per-process seed), which
+// makes it a stable cache key for symbolic analyses and, later, for the
+// serving layer's problem cache.
+//
+//bbvet:hotpath
+func PatternHash(a *SparseMatrix) uint64 {
+	const offset64 = 14695981039346656037
+	h := uint64(offset64)
+	h = fnvMix(h, uint64(a.Rows))
+	h = fnvMix(h, uint64(a.Cols))
+	for _, p := range a.RowPtr {
+		h = fnvMix(h, uint64(p))
+	}
+	for _, c := range a.ColIdx {
+		h = fnvMix(h, uint64(c))
+	}
+	return h
+}
+
+// fnvMix folds one value into an FNV-1a state, byte-wise.
+//
+//bbvet:hotpath
+func fnvMix(h, v uint64) uint64 {
+	const prime64 = 1099511628211
+	h ^= v & 0xff
+	h *= prime64
+	h ^= (v >> 8) & 0xff
+	h *= prime64
+	h ^= (v >> 16) & 0xff
+	h *= prime64
+	h ^= (v >> 24) & 0xffff // rows/cols/indices fit well below 2⁴⁰
+	h *= prime64
+	return h
+}
+
+// SymbolicCache shares sparse-LDLᵀ symbolic analyses across solves whose
+// matrices have the same sparsity pattern, and pools the numeric
+// workspaces bound to each pattern:
+//
+//   - the SymbolicFactor (AMD ordering + elimination tree + column
+//     pointers) is computed once per distinct pattern and shared read-only;
+//   - numeric workspaces are recycled through a per-pattern sync.Pool, so a
+//     steady state of acquire → Factorize → Solve → release performs no
+//     allocations at all.
+//
+// This is the reuse layer behind warm-started sweeps (every sweep point of
+// one topology shares a pattern) and the problem cache a solver service
+// keys requests on. The zero value is not usable; call NewSymbolicCache.
+// All methods are safe for concurrent use.
+type SymbolicCache struct {
+	mu      sync.RWMutex
+	entries map[uint64][]*symCacheEntry
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// symCacheEntry binds one analyzed pattern to its shared symbolic factor
+// and the pool of numeric workspaces built on it.
+type symCacheEntry struct {
+	sym  *SymbolicFactor
+	pool sync.Pool // of *SparseCholesky bound to sym
+}
+
+// NewSymbolicCache returns an empty cache.
+func NewSymbolicCache() *SymbolicCache {
+	return &SymbolicCache{entries: map[uint64][]*symCacheEntry{}}
+}
+
+// Acquire returns a numeric factorization workspace for a's pattern,
+// running the symbolic analysis only if the pattern has never been seen.
+// Hash collisions are ruled out by an exact pattern comparison, so a hit is
+// guaranteed to carry a's symbolic structure. The caller owns the returned
+// workspace until it hands it back with Release; the hit path performs no
+// allocations when the pool has a pooled workspace.
+//
+//bbvet:hotpath
+func (sc *SymbolicCache) Acquire(a *SparseMatrix) *SparseCholesky {
+	h := PatternHash(a)
+	sc.mu.RLock()
+	e := lookupEntry(sc.entries[h], a)
+	sc.mu.RUnlock()
+	if e == nil {
+		e = sc.insert(h, a)
+	} else {
+		sc.hits.Add(1)
+	}
+	if f, ok := e.pool.Get().(*SparseCholesky); ok {
+		return f
+	}
+	return e.sym.NewNumeric()
+}
+
+// lookupEntry scans a hash bucket for the entry whose pattern exactly
+// matches a.
+//
+//bbvet:hotpath
+func lookupEntry(bucket []*symCacheEntry, a *SparseMatrix) *symCacheEntry {
+	for _, e := range bucket {
+		if e.sym.Matches(a) {
+			return e
+		}
+	}
+	return nil
+}
+
+// insert analyzes a's pattern and stores the entry, racing politely: if
+// another goroutine analyzed the same pattern first, its entry wins and the
+// local analysis is dropped.
+func (sc *SymbolicCache) insert(h uint64, a *SparseMatrix) *symCacheEntry {
+	sym := Analyze(a, nil) // outside the lock: analysis is the expensive part
+	sc.mu.Lock()
+	if e := lookupEntry(sc.entries[h], a); e != nil {
+		sc.mu.Unlock()
+		sc.hits.Add(1)
+		return e
+	}
+	e := &symCacheEntry{sym: sym}
+	sc.entries[h] = append(sc.entries[h], e)
+	sc.mu.Unlock()
+	sc.misses.Add(1)
+	return e
+}
+
+// Release returns a workspace obtained from Acquire to its pattern's pool.
+// Workspaces whose symbolic factor is unknown to the cache are adopted
+// under their pattern, so releasing a NewSparseCholesky-built workspace
+// seeds the cache instead of erroring. The caller must not use f after
+// releasing it.
+//
+//bbvet:hotpath
+func (sc *SymbolicCache) Release(f *SparseCholesky) {
+	if f == nil {
+		return
+	}
+	h := f.sym.hash
+	sc.mu.RLock()
+	e := entryForSym(sc.entries[h], f.sym)
+	sc.mu.RUnlock()
+	if e == nil {
+		e = sc.adopt(h, f.sym)
+	}
+	//bbvet:allow hotalloc pointer stored in interface directly, no allocation; AllocsPerRun guards pin it
+	e.pool.Put(f)
+}
+
+// entryForSym scans a hash bucket for the entry holding exactly this
+// symbolic factor (pointer identity: pooled numerics must go back to the
+// factor they index into).
+//
+//bbvet:hotpath
+func entryForSym(bucket []*symCacheEntry, sym *SymbolicFactor) *symCacheEntry {
+	for _, e := range bucket {
+		if e.sym == sym {
+			return e
+		}
+	}
+	return nil
+}
+
+// adopt registers an externally analyzed symbolic factor.
+func (sc *SymbolicCache) adopt(h uint64, sym *SymbolicFactor) *symCacheEntry {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if e := entryForSym(sc.entries[h], sym); e != nil {
+		return e
+	}
+	e := &symCacheEntry{sym: sym}
+	sc.entries[h] = append(sc.entries[h], e)
+	return e
+}
+
+// Stats reports the cache's lifetime hit/miss counts and the number of
+// distinct patterns analyzed.
+func (sc *SymbolicCache) Stats() (hits, misses, patterns int64) {
+	sc.mu.RLock()
+	for _, bucket := range sc.entries {
+		patterns += int64(len(bucket))
+	}
+	sc.mu.RUnlock()
+	return sc.hits.Load(), sc.misses.Load(), patterns
+}

@@ -1,0 +1,201 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestPatternHashIgnoresValues pins the cache-key contract: the hash folds
+// the pattern only, so rewriting values must not change it, while any
+// structural change must.
+func TestPatternHashIgnoresValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	_, a := randomSparseSPD(rng, 40, 0.15)
+	h := PatternHash(a)
+	b := a.Clone()
+	for i := range b.Val {
+		b.Val[i] = rng.NormFloat64()
+	}
+	if PatternHash(b) != h {
+		t.Fatal("hash changed when only values changed")
+	}
+	// Drop one entry: structure differs, hash must differ.
+	c := &SparseMatrix{Rows: a.Rows, Cols: a.Cols, RowPtr: append([]int(nil), a.RowPtr...)}
+	c.ColIdx = append([]int(nil), a.ColIdx[:len(a.ColIdx)-1]...)
+	c.Val = append([]float64(nil), a.Val[:len(a.Val)-1]...)
+	for i := range c.RowPtr {
+		if c.RowPtr[i] > len(c.ColIdx) {
+			c.RowPtr[i] = len(c.ColIdx)
+		}
+	}
+	if PatternHash(c) == h {
+		t.Fatal("hash unchanged after structural change")
+	}
+}
+
+// TestSymbolicCacheSharesAnalysis checks that repeated acquires of one
+// pattern run the symbolic analysis once, share the SymbolicFactor, and
+// produce factorizations identical to a cold NewSparseCholesky.
+func TestSymbolicCacheSharesAnalysis(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	_, a := randomSparseSPD(rng, 50, 0.12)
+	sc := NewSymbolicCache()
+
+	cold := NewSparseCholesky(a, nil)
+	if err := cold.Factorize(a, 0, 1e-12); err != nil {
+		t.Fatal(err)
+	}
+	b := NewVector(a.Rows)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	want := NewVector(a.Rows)
+	cold.SolveRefined(a, b, want)
+
+	var sym *SymbolicFactor
+	for round := 0; round < 3; round++ {
+		f := sc.Acquire(a)
+		if sym == nil {
+			sym = f.Symbolic()
+		} else if f.Symbolic() != sym {
+			t.Fatal("cache returned a different SymbolicFactor for the same pattern")
+		}
+		if err := f.Factorize(a, 0, 1e-12); err != nil {
+			t.Fatal(err)
+		}
+		got := NewVector(a.Rows)
+		f.SolveRefined(a, b, got)
+		for i := range got {
+			//bbvet:allow floatcmp cached and cold factorizations must agree bitwise
+			if got[i] != want[i] {
+				t.Fatalf("round %d: cached solve differs from cold at %d: %g vs %g",
+					round, i, got[i], want[i])
+			}
+		}
+		sc.Release(f)
+	}
+	hits, misses, patterns := sc.Stats()
+	if misses != 1 || patterns != 1 {
+		t.Fatalf("stats: hits=%d misses=%d patterns=%d, want 1 analysis of 1 pattern", hits, misses, patterns)
+	}
+	if hits != 2 {
+		t.Fatalf("hits = %d, want 2", hits)
+	}
+}
+
+// TestSymbolicCacheDistinguishesPatterns: two structurally different
+// matrices must get independent symbolic factors even under one cache.
+func TestSymbolicCacheDistinguishesPatterns(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	_, a := randomSparseSPD(rng, 30, 0.1)
+	_, b := randomSparseSPD(rng, 34, 0.2)
+	sc := NewSymbolicCache()
+	fa := sc.Acquire(a)
+	fb := sc.Acquire(b)
+	if fa.Symbolic() == fb.Symbolic() {
+		t.Fatal("distinct patterns share a symbolic factor")
+	}
+	if err := fa.Factorize(a, 0, 1e-12); err != nil {
+		t.Fatal(err)
+	}
+	if err := fb.Factorize(b, 0, 1e-12); err != nil {
+		t.Fatal(err)
+	}
+	sc.Release(fa)
+	sc.Release(fb)
+	if _, _, patterns := sc.Stats(); patterns != 2 {
+		t.Fatalf("patterns = %d, want 2", patterns)
+	}
+}
+
+// TestSymbolicCacheConcurrent hammers one cache from many goroutines over a
+// few patterns; run under -race this checks the share-the-symbolic /
+// own-the-numeric split.
+func TestSymbolicCacheConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var mats []*SparseMatrix
+	for i := 0; i < 3; i++ {
+		_, m := randomSparseSPD(rng, 24+8*i, 0.15)
+		mats = append(mats, m)
+	}
+	sc := NewSymbolicCache()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			b := NewVector(0)
+			x := NewVector(0)
+			for it := 0; it < 50; it++ {
+				m := mats[(g+it)%len(mats)]
+				f := sc.Acquire(m)
+				if err := f.Factorize(m, 0, 1e-12); err != nil {
+					t.Error(err)
+					sc.Release(f)
+					return
+				}
+				if len(b) != m.Rows {
+					b = NewVector(m.Rows)
+					x = NewVector(m.Rows)
+					for i := range b {
+						b[i] = 1 + float64(i%5)
+					}
+				}
+				f.SolveRefined(m, b[:m.Rows], x[:m.Rows])
+				for _, v := range x[:m.Rows] {
+					if math.IsNaN(v) {
+						t.Error("NaN in cached solve")
+						return
+					}
+				}
+				sc.Release(f)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if _, _, patterns := sc.Stats(); patterns != 3 {
+		t.Fatalf("patterns = %d, want 3", patterns)
+	}
+}
+
+// TestSymbolicCacheSteadyStateAllocFree is the dynamic guard for the
+// refactorize-with-cached-symbolic hotpath: once a pattern is in the cache
+// and its pool is seeded, the full acquire → numeric refactorization →
+// solve → release cycle of a sweep's steady state must not allocate.
+func TestSymbolicCacheSteadyStateAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector drops sync.Pool items at random; steady state is not alloc-free under -race")
+	}
+	rng := rand.New(rand.NewSource(23))
+	_, a := randomSparseSPD(rng, 60, 0.1)
+	sc := NewSymbolicCache()
+	warm := sc.Acquire(a)
+	if err := warm.Factorize(a, 0, 1e-12); err != nil {
+		t.Fatal(err)
+	}
+	sc.Release(warm)
+	b := NewVector(a.Rows)
+	x := NewVector(a.Rows)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	var ferr error
+	allocs := testing.AllocsPerRun(50, func() {
+		f := sc.Acquire(a)
+		if err := f.Factorize(a, 0, 1e-12); err != nil {
+			ferr = err
+			sc.Release(f)
+			return
+		}
+		f.SolveRefined(a, b, x)
+		sc.Release(f)
+	})
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	if allocs != 0 {
+		t.Fatalf("steady-state cached solve allocated %.1f times per run, want 0", allocs)
+	}
+}

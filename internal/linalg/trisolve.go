@@ -8,19 +8,21 @@ package linalg
 //
 //bbvet:hotpath
 func (c *SparseCholesky) Solve(b Vector) {
-	if len(b) != c.n {
+	sym := c.sym
+	if len(b) != sym.n {
 		panic("linalg: SparseCholesky.Solve dimension mismatch")
 	}
-	n, w := c.n, c.w
+	n, w := sym.n, c.w
+	perm, lp := sym.perm, sym.lp
 	for k := 0; k < n; k++ {
-		w[k] = b[c.perm[k]]
+		w[k] = b[perm[k]]
 	}
 	// L w = w: column-oriented forward substitution. When column k is
 	// reached every update from columns < k has been applied, so w[k] is
 	// final and scatters into the rows below.
 	for k := 0; k < n; k++ {
 		if wk := w[k]; wk != 0 {
-			for p := c.lp[k]; p < c.lp[k+1]; p++ {
+			for p := lp[k]; p < lp[k+1]; p++ {
 				w[c.li[p]] -= c.lx[p] * wk
 			}
 		}
@@ -33,13 +35,13 @@ func (c *SparseCholesky) Solve(b Vector) {
 	// the columns backwards.
 	for k := n - 1; k >= 0; k-- {
 		wk := w[k]
-		for p := c.lp[k]; p < c.lp[k+1]; p++ {
+		for p := lp[k]; p < lp[k+1]; p++ {
 			wk -= c.lx[p] * w[c.li[p]]
 		}
 		w[k] = wk
 	}
 	for k := 0; k < n; k++ {
-		b[c.perm[k]] = w[k]
+		b[perm[k]] = w[k]
 	}
 }
 
@@ -50,7 +52,7 @@ func (c *SparseCholesky) Solve(b Vector) {
 //
 //bbvet:hotpath
 func (c *SparseCholesky) SolveRefined(a *SparseMatrix, b, x Vector) {
-	if len(x) != c.n || len(b) != c.n {
+	if len(x) != c.sym.n || len(b) != c.sym.n {
 		panic("linalg: SparseCholesky.SolveRefined dimension mismatch")
 	}
 	x.CopyFrom(b)

@@ -33,12 +33,67 @@ func interiorPoint(rng *rand.Rand, dims cone.Dims, v linalg.Vector) {
 // allocate nothing after the first iteration's symbolic analysis. This is
 // the dynamic check backing the //bbvet:hotpath annotations that the
 // hotalloc analyzer enforces statically.
+// TestPatternCacheReacquireAllocFree pins the steady state of the pattern
+// cache: once a pipeline for a pattern has been built and released, the
+// acquire → rewrite equality block → refactorize → release cycle a cached
+// sweep solve performs is allocation-free. (The first acquire of a pattern
+// pays the build; every later one must not.)
+func TestPatternCacheReacquireAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector drops sync.Pool items at random; steady state is not alloc-free under -race")
+	}
+	rng := rand.New(rand.NewSource(12))
+	for _, eq := range []bool{false, true} {
+		p := randomProblem(rng, 14, 10, 2, 0.3, eq)
+		sv := p.sparse()
+		pc := NewPatternCache()
+		m := p.Dims.Dim()
+		s, z := linalg.NewVector(m), linalg.NewVector(m)
+		interiorPoint(rng, p.Dims, s)
+		interiorPoint(rng, p.Dims, z)
+		w, err := cone.NewScaling(p.Dims, s, z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const reg = 1e-10
+		cycle := func() error {
+			ne := pc.acquire(sv)
+			defer pc.release(ne)
+			sv.fillScaled(w)
+			ne.ata.Compute(sv.gs)
+			if ne.pe == 0 {
+				return ne.chol.Factorize(ne.ata.Result, reg, reg)
+			}
+			ne.fillKKT(reg)
+			return ne.chol.FactorizeQuasiDef(ne.kkt, reg)
+		}
+		if err := cycle(); err != nil { // build + register the pattern
+			t.Fatal(err)
+		}
+		var ferr error
+		allocs := testing.AllocsPerRun(20, func() {
+			if err := cycle(); err != nil {
+				ferr = err
+			}
+		})
+		if ferr != nil {
+			t.Fatal(ferr)
+		}
+		if allocs != 0 {
+			t.Fatalf("eq=%v: cached reacquire cycle allocated %.1f times per run, want 0", eq, allocs)
+		}
+		if hits, misses := pc.Stats(); hits < 20 || misses != 1 {
+			t.Fatalf("eq=%v: stats hits=%d misses=%d", eq, hits, misses)
+		}
+	}
+}
+
 func TestPerIterationRefactorizationAllocFree(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	for _, eq := range []bool{false, true} {
 		p := randomProblem(rng, 14, 10, 2, 0.3, eq)
 		sv := p.sparse()
-		ne := sv.normalEq()
+		ne := sv.normalEq(nil)
 		m := p.Dims.Dim()
 		s, z := linalg.NewVector(m), linalg.NewVector(m)
 		interiorPoint(rng, p.Dims, s)

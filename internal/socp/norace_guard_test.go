@@ -1,0 +1,5 @@
+//go:build !race
+
+package socp
+
+const raceEnabled = false

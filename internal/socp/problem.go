@@ -169,6 +169,23 @@ type Options struct {
 	// Cholesky/LDLᵀ — the configuration before the sparse factor existed,
 	// kept for isolating assembly effects from factorization effects.
 	Factorization Factorization
+	// WarmStart optionally supplies an initial primal/dual iterate in the
+	// problem's original coordinates, usually a neighboring problem's
+	// solution (see WarmStart and Solution.Warm). The solver shifts it
+	// safely into the cone interior and iterates from there; an unusable
+	// iterate falls back to the cold least-squares start. nil (the default)
+	// is the cold start, and a solve with WarmStart == nil is bit-identical
+	// to one on a build without warm-start support.
+	WarmStart *WarmStart
+	// Cache optionally shares the pattern-keyed symbolic work of the sparse
+	// KKT pipeline — AᵀA scatter plans, AMD orderings, elimination trees,
+	// symbolic factorizations, and their pooled numeric workspaces — across
+	// solves whose constraint matrices have the same sparsity pattern (every
+	// point of a sweep over one topology). The cache is safe for concurrent
+	// solves and only ever changes where buffers come from, never any
+	// computed value: solves with and without a cache are bit-identical.
+	// nil (the default) rebuilds the symbolic work per solve.
+	Cache *PatternCache
 	// Trace enables per-iteration progress output (debugging).
 	Trace bool
 	// TraceOut is the destination of Trace output; nil selects os.Stdout.

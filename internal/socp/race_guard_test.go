@@ -1,0 +1,8 @@
+//go:build race
+
+package socp
+
+// raceEnabled gates allocation-count assertions: the race detector's
+// sync.Pool randomly drops Put items to shake out races, so pool-backed
+// steady states legitimately allocate under -race.
+const raceEnabled = true

@@ -6,6 +6,16 @@ import (
 	"repro/internal/linalg"
 )
 
+// eqScales records the diagonal scalings equilibrate applied, so solutions
+// can be mapped back to the original coordinates and caller-supplied warm
+// starts can be mapped forward into the equilibrated ones.
+type eqScales struct {
+	costScale float64        // c̃ = c / σc
+	rowScale  linalg.Vector  // row i of (G̃ | h̃) = row i of (G | h) / rowScale[i]
+	eqScale   linalg.Vector  // row i of (Ã | b̃) = row i of (A | b) / eqScale[i]; nil without equalities
+	pooledG   *linalg.Matrix // scaled-G workspace borrowed from a PatternCache; returned after the solve
+}
+
 // equilibrate rescales the problem so the interior-point iterations are
 // well conditioned regardless of the magnitudes of objective weights,
 // constraint coefficients, or resource capacities:
@@ -15,10 +25,10 @@ import (
 //     cone), and likewise for rows of (A | b);
 //   - the cost vector is divided by max(1, ‖c‖∞).
 //
-// It returns the scaled problem plus an unscale function that restores the
-// solution of the original problem (x is unchanged; slacks, duals, and
+// It returns the scaled problem plus the applied scales; unscale restores
+// the solution of the original problem (x is unchanged; slacks, duals, and
 // objective values are rescaled).
-func equilibrate(p *Problem) (*Problem, func(*Solution)) {
+func equilibrate(p *Problem, pc *PatternCache) (*Problem, *eqScales) {
 	n := len(p.C)
 	m := p.Dims.Dim()
 
@@ -26,7 +36,19 @@ func equilibrate(p *Problem) (*Problem, func(*Solution)) {
 	c := p.C.Clone()
 	c.Scale(1 / costScale)
 
-	g := p.G.Clone()
+	// The scaled copy of G is the largest per-solve allocation; borrow it
+	// from the pattern cache's dimension-keyed pool when one is in play.
+	// Every entry is overwritten by the copy below, so the borrowed buffer
+	// cannot leak values between solves.
+	var g *linalg.Matrix
+	var pooled *linalg.Matrix
+	if pc != nil {
+		pooled = pc.acquireDense(p.G.Rows, p.G.Cols)
+		copy(pooled.Data, p.G.Data)
+		g = pooled
+	} else {
+		g = p.G.Clone()
+	}
 	h := p.H.Clone()
 	rowScale := make(linalg.Vector, m)
 	rowNorm := func(i int) float64 {
@@ -69,17 +91,17 @@ func equilibrate(p *Problem) (*Problem, func(*Solution)) {
 	}
 
 	sp := &Problem{C: c, G: g, H: h, Dims: p.Dims}
-	var eqScale linalg.Vector
+	sc := &eqScales{costScale: costScale, rowScale: rowScale, pooledG: pooled}
 	if p.A != nil {
 		a := p.A.Clone()
 		b := p.B.Clone()
-		eqScale = make(linalg.Vector, a.Rows)
+		sc.eqScale = make(linalg.Vector, a.Rows)
 		for i := 0; i < a.Rows; i++ {
 			r := linalg.NormInf(a.Data[i*n : (i+1)*n])
 			if r == 0 {
 				r = math.Max(1, math.Abs(b[i]))
 			}
-			eqScale[i] = r
+			sc.eqScale[i] = r
 			inv := 1 / r
 			row := a.Data[i*n : (i+1)*n]
 			for j := range row {
@@ -90,26 +112,60 @@ func equilibrate(p *Problem) (*Problem, func(*Solution)) {
 		sp.A = a
 		sp.B = b
 	}
+	return sp, sc
+}
 
-	unscale := func(sol *Solution) {
-		if sol == nil {
-			return
-		}
-		// x unchanged. s = D·s̃, z = σc·D⁻¹·z̃, y = σc·DA⁻¹·ỹ.
-		for i := 0; i < m; i++ {
-			if len(sol.S) == m {
-				sol.S[i] *= rowScale[i]
-			}
-			if len(sol.Z) == m {
-				sol.Z[i] *= costScale / rowScale[i]
-			}
-		}
-		for i := range sol.Y {
-			sol.Y[i] *= costScale / eqScale[i]
-		}
-		sol.PrimalObj *= costScale
-		sol.DualObj *= costScale
-		sol.Gap *= costScale
+// unscale maps a solution of the equilibrated problem back to the original
+// coordinates: x unchanged, s = D·s̃, z = σc·D⁻¹·z̃, y = σc·DA⁻¹·ỹ.
+func (sc *eqScales) unscale(sol *Solution) {
+	if sol == nil {
+		return
 	}
-	return sp, unscale
+	m := len(sc.rowScale)
+	for i := 0; i < m; i++ {
+		if len(sol.S) == m {
+			sol.S[i] *= sc.rowScale[i]
+		}
+		if len(sol.Z) == m {
+			sol.Z[i] *= sc.costScale / sc.rowScale[i]
+		}
+	}
+	for i := range sol.Y {
+		sol.Y[i] *= sc.costScale / sc.eqScale[i]
+	}
+	sol.PrimalObj *= sc.costScale
+	sol.DualObj *= sc.costScale
+	sol.Gap *= sc.costScale
+}
+
+// scaleWarm maps a warm start given in the original coordinates into the
+// equilibrated ones — the inverse of unscale, applied to a fresh copy (the
+// caller's vectors are never written). Iterates with mismatched dimensions
+// or non-finite entries return nil, which makes the solver fall back to the
+// cold start instead of polluting the iteration.
+func (sc *eqScales) scaleWarm(w *WarmStart, n int) *WarmStart {
+	if w == nil {
+		return nil
+	}
+	m := len(sc.rowScale)
+	pe := len(sc.eqScale)
+	if len(w.X) != n || len(w.S) != m || len(w.Z) != m || len(w.Y) != pe {
+		return nil
+	}
+	sw := &WarmStart{X: w.X.Clone(), S: w.S.Clone(), Z: w.Z.Clone(), Y: w.Y.Clone()}
+	for i := 0; i < m; i++ {
+		sw.S[i] /= sc.rowScale[i]
+		sw.Z[i] *= sc.rowScale[i] / sc.costScale
+	}
+	for i := 0; i < pe; i++ {
+		sw.Y[i] *= sc.eqScale[i] / sc.costScale
+	}
+	for _, v := range [][]float64{sw.X, sw.S, sw.Z, sw.Y} {
+		for _, x := range v {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return nil
+			}
+		}
+	}
+	return sw
 }

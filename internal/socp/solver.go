@@ -31,10 +31,28 @@ func SolveContext(ctx context.Context, p *Problem, opt Options) (*Solution, erro
 	if p.Dims.Dim() == 0 {
 		return nil, errors.New("socp: cone dimension is zero")
 	}
-	sp, unscale := equilibrate(p)
-	s := &state{ctx: ctx, p: sp, opt: opt.withDefaults()}
+	o := opt.withDefaults()
+	sp, scales := equilibrate(p, o.Cache)
+	s := &state{ctx: ctx, p: sp, opt: o}
+	// The warm start arrives in the original coordinates; map it into the
+	// equilibrated ones (nil on dimension mismatch or non-finite entries,
+	// which silently selects the cold start).
+	s.warm = scales.scaleWarm(s.opt.WarmStart, len(p.C))
 	sol, err := s.run()
-	unscale(sol)
+	// Return the borrowed pieces to the pattern cache: the factorization
+	// pipeline and the scaled-G workspace. sp (and its sparse view) is
+	// per-solve, so nothing references either after this.
+	if pc := s.opt.Cache; pc != nil {
+		if sp.sv != nil {
+			pc.release(sp.sv.ne)
+			sp.sv.ne = nil
+		}
+		if scales.pooledG != nil {
+			pc.releaseDense(scales.pooledG)
+			sp.G = nil
+		}
+	}
+	scales.unscale(sol)
 	return sol, err
 }
 
@@ -45,6 +63,16 @@ type state struct {
 	opt Options
 
 	n, m, pe int // variables, cone dim, equality rows
+
+	// warm is the caller's warm start mapped into the equilibrated
+	// coordinates; nil selects the cold least-squares starting point.
+	warm *WarmStart
+	// warmActive records that the iterate was installed from the warm start
+	// without the interior-margin shift: the shift is deferred until the
+	// run loop decides it actually has to take a step, so a warm point that
+	// already satisfies the stopping tolerances terminates at iteration 0
+	// without ever factorizing.
+	warmActive bool
 
 	x, y  linalg.Vector
 	s, z  linalg.Vector
@@ -296,7 +324,7 @@ func (st *state) factor(w *cone.Scaling) (*kktFactor, error) {
 //
 //bbvet:hotpath
 func (st *state) factorSparse(f *kktFactor) (*kktFactor, error) {
-	ne := st.sv.normalEq()
+	ne := st.sv.normalEq(st.opt.Cache)
 	ne.ata.Compute(st.sv.gs)
 	h := ne.ata.Result
 	reg := st.opt.KKTReg * (1 + h.NormInf())
@@ -561,6 +589,25 @@ func (st *state) run() (*Solution, error) {
 			return sol, nil
 		}
 
+		// An unshifted warm point got its free convergence check above; past
+		// it, shift s and z to the interior-margin floor before the first NT
+		// scaling, which is singular on the cone boundary a converged
+		// neighbor iterate sits on. The shift moves s and z, so the
+		// residuals and gap that feed the step are recomputed.
+		if st.warmActive && iter == 0 {
+			st.shiftWarm(st.s)
+			st.shiftWarm(st.z)
+			rx.CopyFrom(p.C)
+			st.gMulVecTAdd(rx, 1, st.z)
+			if st.pe > 0 {
+				st.aMulVecTAdd(rx, 1, st.y)
+			}
+			st.gMulVec(rz, st.x)
+			linalg.Add(rz, rz, st.s)
+			rz.AddScaled(-1, p.H)
+			gap = linalg.Dot(st.s, st.z)
+		}
+
 		// NT scaling and KKT factorization.
 		w, err := cone.NewScaling(p.Dims, st.s, st.z)
 		if err != nil {
@@ -697,9 +744,72 @@ func scaleCert(v linalg.Vector, a float64) {
 	}
 }
 
-// initPoint computes the CVXOPT-style least-squares starting point, shifted
-// into the interior of the cone.
+// warmMarginFrac is the relative interior-margin floor warm iterates are
+// shifted to. A converged neighbor's s and z sit essentially on the cone
+// boundary, where the NT scaling is singular; shifting along the cone
+// identity to a small but safe margin (Mehrotra-style centering of the
+// initial point) keeps the first scaling well conditioned while staying
+// close enough to the neighbor's solution that the predictor-corrector
+// needs only a handful of iterations to re-converge.
+const warmMarginFrac = 1e-3
+
+// initPoint installs the caller's warm start when one is usable, otherwise
+// computes the CVXOPT-style least-squares starting point, shifted into the
+// interior of the cone.
 func (st *state) initPoint() error {
+	if st.warmPoint() {
+		return nil
+	}
+	return st.coldPoint()
+}
+
+// warmPoint moves the scaled warm start into the iterate slots. The primal
+// slack is recomputed against this problem's h (s = h − Gx) whenever the
+// result stays strictly interior, so a sweep step that only moved a bound
+// starts with a zero primal residual. When the raw pair (s, z) is strictly
+// interior it is installed unshifted and warmActive is set: the run loop
+// gives it one free convergence check and only shifts to the margin floor
+// if it actually has to iterate. Otherwise the pair is shifted here, and a
+// pair that still fails the interior check (e.g. non-finite) reports false,
+// leaving the cold start to run.
+func (st *state) warmPoint() bool {
+	w := st.warm
+	if w == nil {
+		return false
+	}
+	s := linalg.NewVector(st.m)
+	st.gMulVec(s, w.X)
+	s.Scale(-1)
+	linalg.Add(s, s, st.p.H)
+	if st.p.Dims.Interior(s) {
+		w.S = s
+	}
+	if st.p.Dims.Interior(w.S) && st.p.Dims.Interior(w.Z) {
+		st.x, st.y, st.s, st.z = w.X, w.Y, w.S, w.Z
+		st.warmActive = true
+		return true
+	}
+	st.shiftWarm(w.S)
+	st.shiftWarm(w.Z)
+	if !st.p.Dims.Interior(w.S) || !st.p.Dims.Interior(w.Z) {
+		return false
+	}
+	st.x, st.y, st.s, st.z = w.X, w.Y, w.S, w.Z
+	return true
+}
+
+// shiftWarm raises v's interior margin to the warm floor by moving along
+// the cone identity, scaled to the iterate's own magnitude.
+func (st *state) shiftWarm(v linalg.Vector) {
+	floor := warmMarginFrac * (1 + linalg.NormInf(v))
+	if th := st.p.Dims.InteriorMargin(v); th < floor {
+		v.AddScaled(floor-th, st.e)
+	}
+}
+
+// coldPoint computes the CVXOPT-style least-squares starting point, shifted
+// into the interior of the cone.
+func (st *state) coldPoint() error {
 	p := st.p
 	f, err := st.factor(nil) // W = I
 	if err != nil {

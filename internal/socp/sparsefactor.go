@@ -18,23 +18,34 @@ type neFactor struct {
 	chol *linalg.SparseCholesky // factor of H (pe == 0) or of the reduced KKT (pe > 0)
 
 	// pe > 0: the quasi-definite reduced KKT matrix [[H+regI, Aᵀ], [A, −regI]]
-	// on a fixed pattern. The A blocks are written once at construction;
+	// on a fixed pattern. The A blocks are written at construction (and
+	// rewritten by setStaticA when a pooled pipeline moves to a new problem);
 	// fillKKT refreshes the H block and the regularized diagonal.
 	kkt     *linalg.SparseMatrix
 	hDst    []int  // kkt.Val position of each H entry
 	diag    []int  // kkt.Val position of each diagonal entry, len n+pe
 	diagInH []bool // whether diagonal i < n is part of H's pattern
-	pe      int
+	// aDstU and aDstL are the kkt.Val positions of A entry t in the upper
+	// (Aᵀ) and lower (A) block, so setStaticA rewrites without index search.
+	aDstU []int
+	aDstL []int
+	pe    int
+
+	// cacheEntry backlinks a cache-built pipeline to its pattern's pool so
+	// PatternCache.release can return it; nil for uncached pipelines.
+	cacheEntry *patternEntry
 }
 
 // newNEFactor runs the symbolic analysis for the sparse view's fixed
 // pattern. a is the problem's equality-constraint matrix in CSR form (nil
-// without equalities).
-func newNEFactor(sv *sparseView, a *linalg.SparseMatrix) *neFactor {
+// without equalities). A non-nil syms shares the factorization's symbolic
+// analysis (ordering, etree, column pattern) across concurrent builds of
+// the same pattern; nil analyzes locally.
+func newNEFactor(sv *sparseView, a *linalg.SparseMatrix, syms *linalg.SymbolicCache) *neFactor {
 	f := &neFactor{ata: linalg.NewSparseAtA(sv.gs)}
 	h := f.ata.Result
 	if a == nil {
-		f.chol = linalg.NewSparseCholesky(h, nil)
+		f.chol = newSparseChol(h, syms)
 		return f
 	}
 	n, pe := h.Rows, a.Rows
@@ -70,14 +81,17 @@ func newNEFactor(sv *sparseView, a *linalg.SparseMatrix) *neFactor {
 		pattern[n+e] = cols
 	}
 	f.kkt = linalg.NewSparseFromPattern(n+pe, n+pe, pattern)
-	// Static A blocks.
+	// Static A blocks, with the positions recorded for setStaticA.
+	f.aDstU = make([]int, a.NNZ())
+	f.aDstL = make([]int, a.NNZ())
 	for e := 0; e < pe; e++ {
 		for t := a.RowPtr[e]; t < a.RowPtr[e+1]; t++ {
 			j := a.ColIdx[t]
-			f.kkt.Val[f.kkt.Index(n+e, j)] = a.Val[t]
-			f.kkt.Val[f.kkt.Index(j, n+e)] = a.Val[t]
+			f.aDstL[t] = f.kkt.Index(n+e, j)
+			f.aDstU[t] = f.kkt.Index(j, n+e)
 		}
 	}
+	f.setStaticA(a)
 	// Scatter map for the H block and the diagonal slots.
 	f.hDst = make([]int, h.NNZ())
 	for i := 0; i < n; i++ {
@@ -93,8 +107,34 @@ func newNEFactor(sv *sparseView, a *linalg.SparseMatrix) *neFactor {
 	for i := 0; i < n; i++ {
 		f.diagInH[i] = h.Index(i, i) >= 0
 	}
-	f.chol = linalg.NewSparseCholesky(f.kkt, nil)
+	f.chol = newSparseChol(f.kkt, syms)
 	return f
+}
+
+// newSparseChol builds the numeric factorization workspace for m's pattern,
+// sharing the symbolic analysis through syms when one is supplied.
+func newSparseChol(m *linalg.SparseMatrix, syms *linalg.SymbolicCache) *linalg.SparseCholesky {
+	if syms != nil {
+		return syms.Acquire(m)
+	}
+	return linalg.NewSparseCholesky(m, nil)
+}
+
+// setStaticA rewrites the equality blocks of the reduced KKT matrix with
+// the values of a, which must carry the analyzed pattern. No-op without
+// equalities.
+//
+//bbvet:hotpath
+func (f *neFactor) setStaticA(a *linalg.SparseMatrix) {
+	if f.pe == 0 {
+		return
+	}
+	kv := f.kkt.Val
+	av := a.Val
+	for t, d := range f.aDstL {
+		kv[d] = av[t]
+		kv[f.aDstU[t]] = av[t]
+	}
 }
 
 // fillKKT refreshes the reduced KKT values for the current H and the given
@@ -121,11 +161,18 @@ func (f *neFactor) fillKKT(reg float64) {
 	}
 }
 
-// normalEq returns the sparse factorization pipeline of the view, running
-// the symbolic analysis on first use.
-func (sv *sparseView) normalEq() *neFactor {
+// normalEq returns the sparse factorization pipeline of the view, acquiring
+// it from the pattern cache (when one is configured) or running the
+// symbolic analysis locally on first use.
+//
+//bbvet:hotpath
+func (sv *sparseView) normalEq(pc *PatternCache) *neFactor {
 	if sv.ne == nil {
-		sv.ne = newNEFactor(sv, sv.a)
+		if pc != nil {
+			sv.ne = pc.acquire(sv)
+		} else {
+			sv.ne = newNEFactor(sv, sv.a, nil)
+		}
 	}
 	return sv.ne
 }
