@@ -5,8 +5,8 @@
 // Usage:
 //
 //	bbtrade -experiment fig2a|fig2b|fig3|runtime|scalability|compare|ablation|pareto|latency|dse|all
-//	        [-csv] [-parallel N] [-factor auto|sparse|dense|densekkt]
-//	        [-dse-tasks N] [-dse-cap D] [-dse-bound B]
+//	        [-csv] [-parallel N] [-factor auto|sparse|supernodal|dense|densekkt]
+//	        [-factorworkers N] [-dse-tasks N] [-dse-cap D] [-dse-bound B]
 //	        [-cpuprofile FILE] [-memprofile FILE]
 package main
 
@@ -45,7 +45,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		parallel = fs.Int("parallel", 0,
 			"worker pool size for sweep experiments (0 = GOMAXPROCS, 1 = sequential)")
 		factor = fs.String("factor", "auto",
-			"KKT backend: auto | sparse (simplicial LDLT) | dense (sparse assembly, dense factor) | densekkt (all-dense oracle)")
+			"KKT backend: auto | sparse (simplicial LDLT) | supernodal (blocked LDLT) | dense (sparse assembly, dense factor) | densekkt (all-dense oracle)")
+		factorWorkers = fs.Int("factorworkers", 0,
+			"supernodal factorization worker pool size (<=1 = serial; results are bitwise identical at every setting)")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file after the experiments finish")
 		timeout    = fs.Duration("timeout", 0, "abort the experiments after this duration (0 = no limit)")
@@ -67,14 +69,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		// default backend selection
 	case "sparse":
 		opt.Solver.Factorization = socp.FactorSparse
+	case "supernodal":
+		opt.Solver.Factorization = socp.FactorSupernodal
 	case "dense":
 		opt.Solver.Factorization = socp.FactorDense
 	case "densekkt":
 		opt.Solver.DenseKKT = true
 	default:
-		fmt.Fprintf(stderr, "bbtrade: unknown -factor %q (want auto, sparse, dense, or densekkt)\n", *factor)
+		fmt.Fprintf(stderr, "bbtrade: unknown -factor %q (want auto, sparse, supernodal, dense, or densekkt)\n", *factor)
 		return 2
 	}
+	opt.Solver.FactorWorkers = *factorWorkers
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {

@@ -23,9 +23,9 @@ const kktRegEscalation = 1e4
 
 // SolveAttempt records one rung of the recovery ladder.
 type SolveAttempt struct {
-	// Backend names the KKT configuration: "sparse" (simplicial LDLᵀ),
-	// "dense-factor" (sparse assembly, dense factorization), or
-	// "dense-kkt" (the all-dense oracle).
+	// Backend names the KKT configuration: "supernodal" (blocked sparse
+	// LDLᵀ), "sparse" (simplicial LDLᵀ), "dense-factor" (sparse assembly,
+	// dense factorization), or "dense-kkt" (the all-dense oracle).
 	Backend string
 	// KKTReg is the static regularization requested from the solver
 	// (0 means the solver default).
@@ -61,13 +61,17 @@ type SolveReport struct {
 	Recovered bool
 }
 
-// backendName names the KKT configuration an Options selects.
-func backendName(opt socp.Options) string {
+// backendName names the KKT configuration an Options selects for a problem
+// whose reduced KKT system has dimension kktDim (a FactorAuto choice
+// resolves by dimension, so the report names the backend that actually ran).
+func backendName(opt socp.Options, kktDim int) string {
 	switch {
 	case opt.DenseKKT:
 		return "dense-kkt"
 	case opt.Factorization == socp.FactorDense:
 		return "dense-factor"
+	case socp.ResolveFactorization(opt.Factorization, kktDim) == socp.FactorSupernodal:
+		return "supernodal"
 	default:
 		return "sparse"
 	}
@@ -77,11 +81,16 @@ func backendName(opt socp.Options) string {
 // own options first (so unfaulted solves are bit-identical to a direct
 // socp.Solve), then — when the first attempt was warm-started — the same
 // configuration from the cold start, then escalated regularization on the
-// same backend, then the dense factorization, then the all-dense oracle —
-// skipping rungs the starting configuration already is at or past. Every
-// rung after the first runs cold: reusing a warm start that just failed
-// would re-import the failure.
-func ladder(opt socp.Options) []socp.Options {
+// same backend, then each structurally simpler backend — the simplicial
+// sparse factorization when the resolved starting point was supernodal, the
+// dense factorization, and finally the all-dense oracle — skipping rungs
+// the starting configuration already is at or past. Every rung after the
+// first runs cold: reusing a warm start that just failed would re-import
+// the failure. kktDim resolves FactorAuto; hasDenseG gates the dense-kkt
+// rung, which cannot run when the problem carries its constraint matrix
+// only in CSR form (materializing the dense G would be gigabytes on
+// exactly the instances that select the supernodal backend).
+func ladder(opt socp.Options, kktDim int, hasDenseG bool) []socp.Options {
 	steps := []socp.Options{opt}
 	if opt.WarmStart != nil {
 		cold := opt
@@ -95,12 +104,17 @@ func ladder(opt socp.Options) []socp.Options {
 	}
 	esc.KKTReg *= kktRegEscalation
 	steps = append(steps, esc)
+	if !opt.DenseKKT && socp.ResolveFactorization(opt.Factorization, kktDim) == socp.FactorSupernodal {
+		sp := esc
+		sp.Factorization = socp.FactorSparse
+		steps = append(steps, sp)
+	}
 	if !opt.DenseKKT && opt.Factorization != socp.FactorDense {
 		df := esc
 		df.Factorization = socp.FactorDense
 		steps = append(steps, df)
 	}
-	if !opt.DenseKKT {
+	if !opt.DenseKKT && hasDenseG {
 		dk := esc
 		dk.DenseKKT = true
 		steps = append(steps, dk)
@@ -122,9 +136,13 @@ func numericalFailure(sol *socp.Solution, err error) bool {
 // attempt made; the report is never nil.
 func solveConic(ctx context.Context, prob *socp.Problem, opt socp.Options) (*socp.Solution, *SolveReport, error) {
 	report := &SolveReport{}
+	kktDim := len(prob.C)
+	if prob.A != nil {
+		kktDim += prob.A.Rows
+	}
 	var sol *socp.Solution
 	var err error
-	for k, aopt := range ladder(opt) {
+	for k, aopt := range ladder(opt, kktDim, prob.G != nil) {
 		if k > 0 && ctx.Err() != nil {
 			// Canceled between rungs: stop retrying, keep the report of the
 			// attempts that did run. The last attempt's solution (a
@@ -134,7 +152,7 @@ func solveConic(ctx context.Context, prob *socp.Problem, opt socp.Options) (*soc
 		start := time.Now()
 		sol, err = socp.SolveContext(ctx, prob, aopt)
 		a := SolveAttempt{
-			Backend:  backendName(aopt),
+			Backend:  backendName(aopt, kktDim),
 			KKTReg:   aopt.KKTReg,
 			Warm:     aopt.WarmStart != nil,
 			Duration: time.Since(start),

@@ -40,8 +40,16 @@ const (
 	// SiteDenseLDLT fires inside linalg.LDLT.Factorize.
 	SiteDenseLDLT = "linalg/dense-ldlt"
 	// SiteSparseLDLT fires inside linalg.SparseCholesky.Factorize and
-	// FactorizeQuasiDef (the sparse simplicial pipeline).
+	// FactorizeQuasiDef (the sparse simplicial pipeline), and at the entry of
+	// the supernodal equivalents, so ladder tests can break either backend
+	// with one rule.
 	SiteSparseLDLT = "linalg/sparse-ldlt"
+	// SiteSupernodalPanel fires inside the supernodal factorization's
+	// per-panel loop — once per supernode, on whichever worker owns it — and
+	// doubles as a NaN-corruption site for the assembled panel. Error and
+	// panic kinds exercise the parallel scheduler's abort and panic-capture
+	// paths; stall exercises a worker blocked mid-factorization.
+	SiteSupernodalPanel = "linalg/supernodal-panel"
 	// SiteKKTRHS is a NaN-injection site on the KKT right-hand side inside
 	// the socp solver's factored solve.
 	SiteKKTRHS = "socp/kkt-rhs"
@@ -192,7 +200,20 @@ func match(site string) *rule {
 // on the rule's gate, and KindNaN (data-less here) is a no-op. Callers on
 // hot paths must guard the call with Enabled().
 func Hit(site string) error {
-	r := match(site)
+	return apply(match(site), site, nil)
+}
+
+// HitData consumes one hit of the site and applies the matched rule of any
+// kind against the site's float data: KindNaN overwrites v with NaN, the
+// other kinds behave as in Hit. A site that can both fail and corrupt must
+// use this single call — splitting it into Hit plus CorruptNaN would burn
+// two hit numbers (and a Count budget) per visit.
+func HitData(site string, v []float64) error {
+	return apply(match(site), site, v)
+}
+
+// apply executes a matched rule; nil r is the common no-fault fast path.
+func apply(r *rule, site string, v []float64) error {
 	if r == nil {
 		return nil
 	}
@@ -206,6 +227,10 @@ func Hit(site string) error {
 			r.stalledOnce.Do(func() { close(r.Stalled) })
 		}
 		<-r.Gate
+	case KindNaN:
+		for i := range v {
+			v[i] = math.NaN()
+		}
 	}
 	return nil
 }

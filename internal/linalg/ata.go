@@ -11,17 +11,29 @@ import "sort"
 // within-row entry pair of A to its target positions in H — is done once at
 // construction. Compute then refills the values in O(Σᵢ nnz(rowᵢ)²) with no
 // allocations and no index searches.
+//
+// The plan is split by target kind: a within-row pair hits a diagonal slot
+// of H exactly when it pairs an entry with itself (columns are distinct
+// within a CSR row), so the squared terms and the mirrored off-diagonal
+// terms stream through separate branch-free loops. Every H slot draws all
+// its contributions from one loop in the same row-ascending order the
+// unsplit plan used, so the split changes no floating-point result. Plan
+// indices are int32: positions in Val arrays far below 2³¹, stored half as
+// wide to halve the plan's memory traffic through the hot loop.
 type SparseAtA struct {
 	// Result is the Cols×Cols product AᵀA in full symmetric CSR form. Its
 	// pattern is fixed at construction; Compute rewrites the values.
 	Result *SparseMatrix
 
-	// Scatter plan: contribution t adds Val[ka[t]]·Val[kb[t]] of A at
-	// position dst[t] of Result.Val and, when off-diagonal, mirrors it at
-	// mir[t] (mir == dst on the diagonal).
-	ka, kb []int
-	dst    []int
-	mir    []int
+	// Diagonal plan: contribution t adds Val[dka[t]]² of A at position
+	// ddst[t] of Result.Val.
+	dka  []int32
+	ddst []int32
+	// Off-diagonal plan: contribution t adds Val[ka[t]]·Val[kb[t]] at
+	// position dst[t] and mirrors it at mir[t] (always a distinct slot).
+	ka, kb []int32
+	dst    []int32
+	mir    []int32
 	nnzA   int
 }
 
@@ -47,14 +59,34 @@ func NewSparseAtA(a *SparseMatrix) *SparseAtA {
 		}
 	}
 	// Pattern of H: row j is the union of the patterns of A's rows that
-	// contain column j.
-	pattern := make([][]int, n)
+	// contain column j. A counting pass sizes the rows so the whole pattern
+	// lives in one flat allocation instead of per-row append chains.
 	mark := make([]int, n)
 	for i := range mark {
 		mark[i] = -1
 	}
+	rowLen := make([]int, n)
+	total := 0
 	for j := 0; j < n; j++ {
-		var cols []int
+		for t := colPtr[j]; t < colPtr[j+1]; t++ {
+			r := colRows[t]
+			for u := a.RowPtr[r]; u < a.RowPtr[r+1]; u++ {
+				if cc := a.ColIdx[u]; mark[cc] != j {
+					mark[cc] = j
+					rowLen[j]++
+				}
+			}
+		}
+		total += rowLen[j]
+	}
+	for i := range mark {
+		mark[i] = -1
+	}
+	flat := make([]int, total)
+	pattern := make([][]int, n)
+	pos := 0
+	for j := 0; j < n; j++ {
+		cols := flat[pos : pos : pos+rowLen[j]]
 		for t := colPtr[j]; t < colPtr[j+1]; t++ {
 			r := colRows[t]
 			for u := a.RowPtr[r]; u < a.RowPtr[r+1]; u++ {
@@ -66,28 +98,34 @@ func NewSparseAtA(a *SparseMatrix) *SparseAtA {
 		}
 		sort.Ints(cols)
 		pattern[j] = cols
+		pos += rowLen[j]
 	}
 	p := &SparseAtA{Result: NewSparseFromPattern(n, n, pattern), nnzA: a.NNZ()}
-	// One plan entry per unordered within-row pair.
-	plan := 0
+	// One plan entry per unordered within-row pair: the x == z pairs feed
+	// the diagonal plan, the x < z pairs the mirrored off-diagonal one.
+	offPlan := 0
 	for r := 0; r < a.Rows; r++ {
 		w := a.RowPtr[r+1] - a.RowPtr[r]
-		plan += w * (w + 1) / 2
+		offPlan += w * (w - 1) / 2
 	}
-	p.ka = make([]int, 0, plan)
-	p.kb = make([]int, 0, plan)
-	p.dst = make([]int, 0, plan)
-	p.mir = make([]int, 0, plan)
+	p.dka = make([]int32, 0, a.NNZ())
+	p.ddst = make([]int32, 0, a.NNZ())
+	p.ka = make([]int32, 0, offPlan)
+	p.kb = make([]int32, 0, offPlan)
+	p.dst = make([]int32, 0, offPlan)
+	p.mir = make([]int32, 0, offPlan)
 	for r := 0; r < a.Rows; r++ {
 		lo, hi := a.RowPtr[r], a.RowPtr[r+1]
 		for x := lo; x < hi; x++ {
 			i := a.ColIdx[x]
-			for z := x; z < hi; z++ {
+			p.dka = append(p.dka, int32(x))
+			p.ddst = append(p.ddst, int32(p.Result.Index(i, i)))
+			for z := x + 1; z < hi; z++ {
 				j := a.ColIdx[z]
-				p.ka = append(p.ka, x)
-				p.kb = append(p.kb, z)
-				p.dst = append(p.dst, p.Result.Index(i, j))
-				p.mir = append(p.mir, p.Result.Index(j, i))
+				p.ka = append(p.ka, int32(x))
+				p.kb = append(p.kb, int32(z))
+				p.dst = append(p.dst, int32(p.Result.Index(i, j)))
+				p.mir = append(p.mir, int32(p.Result.Index(j, i)))
 			}
 		}
 	}
@@ -107,11 +145,13 @@ func (p *SparseAtA) Compute(a *SparseMatrix) {
 		val[i] = 0
 	}
 	av := a.Val
+	for t, d := range p.ddst {
+		v := av[p.dka[t]]
+		val[d] += v * v
+	}
 	for t, d := range p.dst {
 		v := av[p.ka[t]] * av[p.kb[t]]
 		val[d] += v
-		if m := p.mir[t]; m != d {
-			val[m] += v
-		}
+		val[p.mir[t]] += v
 	}
 }

@@ -1,0 +1,8 @@
+package linalg
+
+// PanelData exposes the factor's internals to tests: the flat row-major
+// panel storage of L and the diagonal of D. Bitwise comparison of these two
+// arrays across runs is the strongest form of the determinism contract.
+func (c *SupernodalCholesky) PanelData() (px []float64, d []float64) {
+	return c.px, c.d
+}

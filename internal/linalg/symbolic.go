@@ -1,5 +1,7 @@
 package linalg
 
+import "sync"
+
 // SparseCholesky is a sparse simplicial LDLᵀ factorization
 //
 //	P A Pᵀ = L D Lᵀ
@@ -74,6 +76,12 @@ type SymbolicFactor struct {
 	rowPtr []int
 	colIdx []int
 	hash   uint64
+
+	// Supernodal layout, computed lazily by Supernodal() because only the
+	// blocked backend needs it. The once is the only mutable state of the
+	// factor; it synchronizes concurrent first uses.
+	snOnce sync.Once
+	sn     *SupernodalSymbolic
 }
 
 // Analyze runs the symbolic phase on the pattern of the square, structurally

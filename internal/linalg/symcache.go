@@ -66,10 +66,13 @@ type SymbolicCache struct {
 }
 
 // symCacheEntry binds one analyzed pattern to its shared symbolic factor
-// and the pool of numeric workspaces built on it.
+// and the pools of numeric workspaces built on it — simplicial and
+// supernodal workspaces pool separately because their storage layouts
+// differ, but they share the one symbolic analysis.
 type symCacheEntry struct {
-	sym  *SymbolicFactor
-	pool sync.Pool // of *SparseCholesky bound to sym
+	sym    *SymbolicFactor
+	pool   sync.Pool // of *SparseCholesky bound to sym
+	snPool sync.Pool // of *SupernodalCholesky bound to sym
 }
 
 // NewSymbolicCache returns an empty cache.
@@ -99,6 +102,31 @@ func (sc *SymbolicCache) Acquire(a *SparseMatrix) *SparseCholesky {
 		return f
 	}
 	return e.sym.NewNumeric()
+}
+
+// AcquireSupernodal is Acquire for the blocked supernodal backend: it
+// returns a supernodal workspace for a's pattern, pooled per pattern like
+// the simplicial ones, with its worker bound set to workers. The supernodal
+// layout is computed once per pattern (cached on the shared SymbolicFactor),
+// so a steady state of acquire → Factorize → ReleaseSupernodal performs no
+// allocations beyond the first acquisition at each parallelism level.
+//
+//bbvet:hotpath
+func (sc *SymbolicCache) AcquireSupernodal(a *SparseMatrix, workers int) *SupernodalCholesky {
+	h := PatternHash(a)
+	sc.mu.RLock()
+	e := lookupEntry(sc.entries[h], a)
+	sc.mu.RUnlock()
+	if e == nil {
+		e = sc.insert(h, a)
+	} else {
+		sc.hits.Add(1)
+	}
+	if f, ok := e.snPool.Get().(*SupernodalCholesky); ok {
+		f.SetParallelism(workers)
+		return f
+	}
+	return e.sym.NewSupernodal(workers)
 }
 
 // lookupEntry scans a hash bucket for the entry whose pattern exactly
@@ -152,6 +180,26 @@ func (sc *SymbolicCache) Release(f *SparseCholesky) {
 	}
 	//bbvet:allow hotalloc pointer stored in interface directly, no allocation; AllocsPerRun guards pin it
 	e.pool.Put(f)
+}
+
+// ReleaseSupernodal returns a workspace obtained from AcquireSupernodal to
+// its pattern's supernodal pool, adopting unknown symbolic factors like
+// Release does. The caller must not use f after releasing it.
+//
+//bbvet:hotpath
+func (sc *SymbolicCache) ReleaseSupernodal(f *SupernodalCholesky) {
+	if f == nil {
+		return
+	}
+	h := f.sym.hash
+	sc.mu.RLock()
+	e := entryForSym(sc.entries[h], f.sym)
+	sc.mu.RUnlock()
+	if e == nil {
+		e = sc.adopt(h, f.sym)
+	}
+	//bbvet:allow hotalloc pointer stored in interface directly, no allocation; AllocsPerRun guards pin it
+	e.snPool.Put(f)
 }
 
 // entryForSym scans a hash bucket for the entry holding exactly this

@@ -2,6 +2,7 @@ package socp
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/cone"
 	"repro/internal/linalg"
@@ -138,7 +139,18 @@ func fillRow(g *linalg.Matrix, h linalg.Vector, r int, a Affine, nvars int) erro
 	return nil
 }
 
-// Build converts the accumulated constraints into a Problem.
+// sparseBuildCells is the dense G size (rows·cols) past which Build
+// assembles the constraint matrix directly in CSR form. Generated instances
+// with thousands of tasks have dense G footprints in the gigabytes while
+// each row touches a handful of variables; below the threshold the dense
+// form is kept because small-problem callers index p.G directly.
+const sparseBuildCells = 1 << 22 // 4M cells = 32 MB of float64
+
+// Build converts the accumulated constraints into a Problem. Past
+// sparseBuildCells the constraint matrix is emitted in CSR form
+// (Problem.GSparse) with exactly the pattern and values the dense build
+// would produce via NewSparseFromDense — duplicate terms accumulated, exact
+// zeros dropped — so the two forms solve bit-identically.
 func (b *Builder) Build() (*Problem, error) {
 	n := len(b.names)
 	dims := cone.Dims{NonNeg: len(b.lin)}
@@ -146,28 +158,35 @@ func (b *Builder) Build() (*Problem, error) {
 		dims.SOC = append(dims.SOC, len(blk))
 	}
 	m := dims.Dim()
-	g := linalg.NewMatrix(m, n)
-	h := linalg.NewVector(m)
-	r := 0
-	for _, a := range b.lin {
-		if err := fillRow(g, h, r, a, n); err != nil {
+	p := &Problem{
+		C:    linalg.Vector(b.obj).Clone(),
+		H:    linalg.NewVector(m),
+		Dims: dims,
+	}
+	if m*n >= sparseBuildCells {
+		gs, err := b.buildSparseG(n, m, p.H)
+		if err != nil {
 			return nil, err
 		}
-		r++
-	}
-	for _, blk := range b.soc {
-		for _, a := range blk {
-			if err := fillRow(g, h, r, a, n); err != nil {
+		p.GSparse = gs
+	} else {
+		g := linalg.NewMatrix(m, n)
+		r := 0
+		for _, a := range b.lin {
+			if err := fillRow(g, p.H, r, a, n); err != nil {
 				return nil, err
 			}
 			r++
 		}
-	}
-	p := &Problem{
-		C:    linalg.Vector(b.obj).Clone(),
-		G:    g,
-		H:    h,
-		Dims: dims,
+		for _, blk := range b.soc {
+			for _, a := range blk {
+				if err := fillRow(g, p.H, r, a, n); err != nil {
+					return nil, err
+				}
+				r++
+			}
+		}
+		p.G = g
 	}
 	if len(b.eqRows) > 0 {
 		a := linalg.NewMatrix(len(b.eqRows), n)
@@ -189,6 +208,56 @@ func (b *Builder) Build() (*Problem, error) {
 		return nil, err
 	}
 	return p, nil
+}
+
+// buildSparseG assembles the constraint rows straight into CSR form through
+// a dense scratch row: terms accumulate into the scratch (duplicates sum,
+// like the dense g.Add path), then the touched columns are emitted in
+// ascending order with exact zeros dropped — the same normalization
+// NewSparseFromDense applies to the dense build, entry for entry.
+func (b *Builder) buildSparseG(n, m int, h linalg.Vector) (*linalg.SparseMatrix, error) {
+	gs := &linalg.SparseMatrix{Rows: m, Cols: n, RowPtr: make([]int, m+1)}
+	scratch := make(linalg.Vector, n)
+	touched := make([]int, 0, 16)
+	r := 0
+	emit := func(a Affine) error {
+		h[r] = a.Const
+		touched = touched[:0]
+		for _, t := range a.Terms {
+			if t.Var < 0 || t.Var >= n {
+				return fmt.Errorf("socp: term references unknown variable %d", t.Var)
+			}
+			touched = append(touched, t.Var)
+			scratch[t.Var] -= t.Coef
+		}
+		sort.Ints(touched)
+		for k, j := range touched {
+			if k > 0 && touched[k-1] == j {
+				continue // duplicate term, already emitted with the sum
+			}
+			if v := scratch[j]; v != 0 {
+				gs.ColIdx = append(gs.ColIdx, j)
+				gs.Val = append(gs.Val, v)
+			}
+			scratch[j] = 0
+		}
+		gs.RowPtr[r+1] = len(gs.ColIdx)
+		r++
+		return nil
+	}
+	for _, a := range b.lin {
+		if err := emit(a); err != nil {
+			return nil, err
+		}
+	}
+	for _, blk := range b.soc {
+		for _, a := range blk {
+			if err := emit(a); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return gs, nil
 }
 
 // Eval evaluates the affine expression at x.

@@ -50,7 +50,10 @@ type PatternCache struct {
 }
 
 // patternEntry pools the factorization pipelines of one (G-pattern,
-// A-pattern) pair. The pattern copies rule out hash collisions.
+// A-pattern, backend) triple. The pattern copies rule out hash collisions;
+// the backend is part of the identity because a pooled pipeline's numeric
+// workspace is built for one factorization layout — a simplicial pipeline
+// must never be handed to a solve that asked for the supernodal backend.
 type patternEntry struct {
 	gsRows, gsCols int
 	gsRowPtr       []int
@@ -59,6 +62,7 @@ type patternEntry struct {
 	aRows, aCols   int
 	aRowPtr        []int
 	aColIdx        []int
+	backend        Factorization
 
 	pool sync.Pool // of *neFactor
 }
@@ -116,20 +120,25 @@ func (pc *PatternCache) Stats() (hits, misses int64) {
 }
 
 // key combines the canonical pattern hashes of the scaled-G template and
-// the equality matrix (a fixed sentinel when there is none).
-func key(gs, a *linalg.SparseMatrix) uint64 {
+// the equality matrix (a fixed sentinel when there is none) with the
+// resolved factorization backend.
+func key(gs, a *linalg.SparseMatrix, backend Factorization) uint64 {
 	const prime64 = 1099511628211
 	h := linalg.PatternHash(gs)
 	if a != nil {
 		h = (h ^ linalg.PatternHash(a)) * prime64
 	}
-	return h
+	return (h ^ uint64(backend)) * prime64
 }
 
-// matches reports whether the entry serves exactly this pattern pair.
+// matches reports whether the entry serves exactly this pattern pair on
+// this backend.
 //
 //bbvet:hotpath
-func (e *patternEntry) matches(gs, a *linalg.SparseMatrix) bool {
+func (e *patternEntry) matches(gs, a *linalg.SparseMatrix, backend Factorization) bool {
+	if e.backend != backend {
+		return false
+	}
 	if a == nil != !e.hasA {
 		return false
 	}
@@ -157,50 +166,57 @@ func patternEqual(rows, cols int, rowPtr, colIdx []int, m *linalg.SparseMatrix) 
 	return true
 }
 
-// acquire returns a factorization pipeline for the view's pattern pair: a
-// pooled one when available (equality block rewritten for this problem),
-// otherwise a freshly built one registered under the pattern. The caller
-// owns the pipeline until release.
+// acquire returns a factorization pipeline for the view's pattern pair on
+// the resolved backend: a pooled one when available (equality block
+// rewritten for this problem, supernodal worker bound refreshed), otherwise
+// a freshly built one registered under the pattern. The caller owns the
+// pipeline until release.
 //
 //bbvet:hotpath
-func (pc *PatternCache) acquire(sv *sparseView) *neFactor {
-	e := pc.entry(sv.gs, sv.a)
+func (pc *PatternCache) acquire(sv *sparseView, backend Factorization, workers int) *neFactor {
+	e := pc.entry(sv.gs, sv.a, backend)
 	if f, ok := e.pool.Get().(*neFactor); ok {
 		pc.hits.Add(1)
 		// The equality block of the pooled KKT matrix holds the previous
 		// problem's A values; rewrite it from this one.
 		f.setStaticA(sv.a)
+		// The worker bound is a per-solve setting, not part of the pooled
+		// identity; refresh it (scheduling only — results never change).
+		if sc, ok := f.chol.(*linalg.SupernodalCholesky); ok {
+			sc.SetParallelism(workers)
+		}
 		return f
 	}
 	pc.misses.Add(1)
-	f := newNEFactor(sv, sv.a, pc.syms)
+	f := newNEFactor(sv, sv.a, pc.syms, backend, workers)
 	f.cacheEntry = e
 	return f
 }
 
-// entry finds or creates the pool entry of a pattern pair.
+// entry finds or creates the pool entry of a pattern pair and backend.
 //
 //bbvet:hotpath
-func (pc *PatternCache) entry(gs, a *linalg.SparseMatrix) *patternEntry {
-	h := key(gs, a)
+func (pc *PatternCache) entry(gs, a *linalg.SparseMatrix, backend Factorization) *patternEntry {
+	h := key(gs, a, backend)
 	pc.mu.Lock()
 	for _, e := range pc.entries[h] {
-		if e.matches(gs, a) {
+		if e.matches(gs, a, backend) {
 			pc.mu.Unlock()
 			return e
 		}
 	}
 	pc.mu.Unlock()
-	return pc.insert(h, gs, a)
+	return pc.insert(h, gs, a, backend)
 }
 
 // insert registers a new pattern pair, copying the patterns for collision
 // verification; a concurrent insert of the same pair wins the race cleanly.
-func (pc *PatternCache) insert(h uint64, gs, a *linalg.SparseMatrix) *patternEntry {
+func (pc *PatternCache) insert(h uint64, gs, a *linalg.SparseMatrix, backend Factorization) *patternEntry {
 	e := &patternEntry{
 		gsRows: gs.Rows, gsCols: gs.Cols,
 		gsRowPtr: append([]int(nil), gs.RowPtr...),
 		gsColIdx: append([]int(nil), gs.ColIdx...),
+		backend:  backend,
 	}
 	if a != nil {
 		e.hasA = true
@@ -211,7 +227,7 @@ func (pc *PatternCache) insert(h uint64, gs, a *linalg.SparseMatrix) *patternEnt
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	for _, prev := range pc.entries[h] {
-		if prev.matches(gs, a) {
+		if prev.matches(gs, a, backend) {
 			return prev
 		}
 	}

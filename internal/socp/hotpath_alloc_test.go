@@ -44,46 +44,48 @@ func TestPatternCacheReacquireAllocFree(t *testing.T) {
 	}
 	rng := rand.New(rand.NewSource(12))
 	for _, eq := range []bool{false, true} {
-		p := randomProblem(rng, 14, 10, 2, 0.3, eq)
-		sv := p.sparse()
-		pc := NewPatternCache()
-		m := p.Dims.Dim()
-		s, z := linalg.NewVector(m), linalg.NewVector(m)
-		interiorPoint(rng, p.Dims, s)
-		interiorPoint(rng, p.Dims, z)
-		w, err := cone.NewScaling(p.Dims, s, z)
-		if err != nil {
-			t.Fatal(err)
-		}
-		const reg = 1e-10
-		cycle := func() error {
-			ne := pc.acquire(sv)
-			defer pc.release(ne)
-			sv.fillScaled(w)
-			ne.ata.Compute(sv.gs)
-			if ne.pe == 0 {
-				return ne.chol.Factorize(ne.ata.Result, reg, reg)
+		for _, backend := range []Factorization{FactorSparse, FactorSupernodal} {
+			p := randomProblem(rng, 14, 10, 2, 0.3, eq)
+			sv := p.sparse()
+			pc := NewPatternCache()
+			m := p.Dims.Dim()
+			s, z := linalg.NewVector(m), linalg.NewVector(m)
+			interiorPoint(rng, p.Dims, s)
+			interiorPoint(rng, p.Dims, z)
+			w, err := cone.NewScaling(p.Dims, s, z)
+			if err != nil {
+				t.Fatal(err)
 			}
-			ne.fillKKT(reg)
-			return ne.chol.FactorizeQuasiDef(ne.kkt, reg)
-		}
-		if err := cycle(); err != nil { // build + register the pattern
-			t.Fatal(err)
-		}
-		var ferr error
-		allocs := testing.AllocsPerRun(20, func() {
-			if err := cycle(); err != nil {
-				ferr = err
+			const reg = 1e-10
+			cycle := func() error {
+				ne := pc.acquire(sv, backend, 1)
+				defer pc.release(ne)
+				sv.fillScaled(w)
+				ne.ata.Compute(sv.gs)
+				if ne.pe == 0 {
+					return ne.chol.Factorize(ne.ata.Result, reg, reg)
+				}
+				ne.fillKKT(reg)
+				return ne.chol.FactorizeQuasiDef(ne.kkt, reg)
 			}
-		})
-		if ferr != nil {
-			t.Fatal(ferr)
-		}
-		if allocs != 0 {
-			t.Fatalf("eq=%v: cached reacquire cycle allocated %.1f times per run, want 0", eq, allocs)
-		}
-		if hits, misses := pc.Stats(); hits < 20 || misses != 1 {
-			t.Fatalf("eq=%v: stats hits=%d misses=%d", eq, hits, misses)
+			if err := cycle(); err != nil { // build + register the pattern
+				t.Fatal(err)
+			}
+			var ferr error
+			allocs := testing.AllocsPerRun(20, func() {
+				if err := cycle(); err != nil {
+					ferr = err
+				}
+			})
+			if ferr != nil {
+				t.Fatal(ferr)
+			}
+			if allocs != 0 {
+				t.Fatalf("eq=%v backend=%v: cached reacquire cycle allocated %.1f times per run, want 0", eq, backend, allocs)
+			}
+			if hits, misses := pc.Stats(); hits < 20 || misses != 1 {
+				t.Fatalf("eq=%v backend=%v: stats hits=%d misses=%d", eq, backend, hits, misses)
+			}
 		}
 	}
 }
@@ -93,7 +95,7 @@ func TestPerIterationRefactorizationAllocFree(t *testing.T) {
 	for _, eq := range []bool{false, true} {
 		p := randomProblem(rng, 14, 10, 2, 0.3, eq)
 		sv := p.sparse()
-		ne := sv.normalEq(nil)
+		ne := sv.normalEq(nil, FactorSparse, 1)
 		m := p.Dims.Dim()
 		s, z := linalg.NewVector(m), linalg.NewVector(m)
 		interiorPoint(rng, p.Dims, s)

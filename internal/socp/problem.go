@@ -25,14 +25,21 @@ import (
 )
 
 // Problem is a conic program in inequality/equality standard form.
-// A and b may be nil (no equality constraints). G must have Dims.Dim() rows.
+// A and b may be nil (no equality constraints). The constraint matrix is
+// given either densely in G or in CSR form in GSparse — exactly one of the
+// two — and must have Dims.Dim() rows. Large generated instances use GSparse
+// (the Builder switches automatically past a size threshold): their dense G
+// would be gigabytes while the actual structure is a few entries per row.
+// The GSparse path requires a sparse-capable configuration: Options.DenseKKT
+// is rejected by Solve when no dense G exists.
 type Problem struct {
-	C    linalg.Vector
-	G    *linalg.Matrix
-	H    linalg.Vector
-	A    *linalg.Matrix // optional
-	B    linalg.Vector  // optional, len = A.Rows
-	Dims cone.Dims
+	C       linalg.Vector
+	G       *linalg.Matrix
+	GSparse *linalg.SparseMatrix
+	H       linalg.Vector
+	A       *linalg.Matrix // optional
+	B       linalg.Vector  // optional, len = A.Rows
+	Dims    cone.Dims
 
 	// sv is the lazily-built sparse view of G and A used by the solver's
 	// sparse KKT path. It caches the symbolic sparsity pattern of the scaled
@@ -56,11 +63,15 @@ func (p *Problem) Validate() error {
 	}
 	n := len(p.C)
 	m := p.Dims.Dim()
-	if p.G == nil {
+	switch {
+	case p.G == nil && p.GSparse == nil:
 		return fmt.Errorf("socp: G is nil")
-	}
-	if p.G.Rows != m || p.G.Cols != n {
+	case p.G != nil && p.GSparse != nil:
+		return fmt.Errorf("socp: both G and GSparse are set; supply exactly one")
+	case p.G != nil && (p.G.Rows != m || p.G.Cols != n):
 		return fmt.Errorf("socp: G is %dx%d, want %dx%d", p.G.Rows, p.G.Cols, m, n)
+	case p.GSparse != nil && (p.GSparse.Rows != m || p.GSparse.Cols != n):
+		return fmt.Errorf("socp: GSparse is %dx%d, want %dx%d", p.GSparse.Rows, p.GSparse.Cols, m, n)
 	}
 	if len(p.H) != m {
 		return fmt.Errorf("socp: |h| = %d, want %d", len(p.H), m)
@@ -161,14 +172,26 @@ type Options struct {
 	// densely, regardless of Factorization.
 	DenseKKT bool
 	// Factorization selects the factorization backend used with the sparse
-	// assembly path. FactorAuto and FactorSparse run the sparse simplicial
-	// LDLᵀ pipeline (fill-reducing AMD ordering, elimination tree, and
-	// symbolic factorization computed once per problem; numeric
-	// refactorization per iteration). FactorDense keeps the sparse assembly
-	// but hands the dense normal-equations matrix to the dense
-	// Cholesky/LDLᵀ — the configuration before the sparse factor existed,
-	// kept for isolating assembly effects from factorization effects.
+	// assembly path. FactorSparse runs the sparse simplicial LDLᵀ pipeline
+	// (fill-reducing AMD ordering, elimination tree, and symbolic
+	// factorization computed once per problem; numeric refactorization per
+	// iteration). FactorSupernodal runs the blocked supernodal LDLᵀ on the
+	// same symbolic analysis — dense column panels, register-blocked update
+	// kernels, and an optional worker pool (see FactorWorkers) — which wins
+	// on large systems where panels grow wide. FactorAuto picks between the
+	// two by KKT dimension (ResolveFactorization). FactorDense keeps the
+	// sparse assembly but hands the dense normal-equations matrix to the
+	// dense Cholesky/LDLᵀ — the configuration before the sparse factor
+	// existed, kept for isolating assembly effects from factorization
+	// effects.
 	Factorization Factorization
+	// FactorWorkers bounds the supernodal backend's intra-factorization
+	// worker pool. Values ≤ 1 run serially — the default, because sweep
+	// drivers already parallelize across solves and oversubscription helps
+	// nothing. Results are bitwise identical at every setting: the scheduler
+	// assigns each panel to exactly one worker and fixes every reduction
+	// order. Ignored by the other backends.
+	FactorWorkers int
 	// WarmStart optionally supplies an initial primal/dual iterate in the
 	// problem's original coordinates, usually a neighboring problem's
 	// solution (see WarmStart and Solution.Warm). The solver shifts it
@@ -199,13 +222,16 @@ type Options struct {
 type Factorization int
 
 const (
-	// FactorAuto picks the fastest correct backend: currently the sparse
-	// simplicial factorization whenever the sparse assembly path is active.
+	// FactorAuto picks the fastest correct backend by KKT dimension: the
+	// blocked supernodal factorization on large systems, the simplicial one
+	// below the crossover (see ResolveFactorization).
 	FactorAuto Factorization = iota
 	// FactorSparse forces the sparse simplicial factorization.
 	FactorSparse
 	// FactorDense forces the dense Cholesky/LDLᵀ factorization.
 	FactorDense
+	// FactorSupernodal forces the blocked supernodal factorization.
+	FactorSupernodal
 )
 
 // String implements fmt.Stringer.
@@ -217,9 +243,32 @@ func (f Factorization) String() string {
 		return "sparse"
 	case FactorDense:
 		return "dense"
+	case FactorSupernodal:
+		return "supernodal"
 	default:
 		return fmt.Sprintf("Factorization(%d)", int(f))
 	}
+}
+
+// supernodalAutoDim is the KKT dimension where FactorAuto switches from the
+// simplicial to the supernodal backend. Below it the simplicial kernel's
+// lower constant wins (panels stay narrow, the blocked kernels cannot
+// amortize their setup); above it supernode panels grow wide enough for the
+// blocked updates to pay off.
+const supernodalAutoDim = 768
+
+// ResolveFactorization maps a Factorization choice to the concrete backend
+// the solver will run for a KKT system of the given dimension (the
+// normal-equations dimension n, or n+p with equality constraints). Explicit
+// choices resolve to themselves; FactorAuto resolves by dimension.
+func ResolveFactorization(f Factorization, dim int) Factorization {
+	if f != FactorAuto {
+		return f
+	}
+	if dim >= supernodalAutoDim {
+		return FactorSupernodal
+	}
+	return FactorSparse
 }
 
 func (o Options) withDefaults() Options {

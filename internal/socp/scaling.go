@@ -29,6 +29,9 @@ type eqScales struct {
 // the solution of the original problem (x is unchanged; slacks, duals, and
 // objective values are rescaled).
 func equilibrate(p *Problem, pc *PatternCache) (*Problem, *eqScales) {
+	if p.GSparse != nil {
+		return equilibrateSparse(p)
+	}
 	n := len(p.C)
 	m := p.Dims.Dim()
 
@@ -92,27 +95,98 @@ func equilibrate(p *Problem, pc *PatternCache) (*Problem, *eqScales) {
 
 	sp := &Problem{C: c, G: g, H: h, Dims: p.Dims}
 	sc := &eqScales{costScale: costScale, rowScale: rowScale, pooledG: pooled}
-	if p.A != nil {
-		a := p.A.Clone()
-		b := p.B.Clone()
-		sc.eqScale = make(linalg.Vector, a.Rows)
-		for i := 0; i < a.Rows; i++ {
-			r := linalg.NormInf(a.Data[i*n : (i+1)*n])
-			if r == 0 {
-				r = math.Max(1, math.Abs(b[i]))
-			}
-			sc.eqScale[i] = r
-			inv := 1 / r
-			row := a.Data[i*n : (i+1)*n]
-			for j := range row {
-				row[j] *= inv
-			}
-			b[i] *= inv
-		}
-		sp.A = a
-		sp.B = b
-	}
+	equilibrateEq(p, sp, sc, n)
 	return sp, sc
+}
+
+// equilibrateSparse is equilibrate for problems carrying the constraint
+// matrix in CSR form. The row norms and applied scales are identical to the
+// dense path's — a row's inf-norm over stored nonzeros equals its inf-norm
+// over the full dense row — so a problem solved through either
+// representation produces bit-identical iterates. The scaled copy shares the
+// immutable pattern arrays with the caller's matrix and clones only the
+// values.
+func equilibrateSparse(p *Problem) (*Problem, *eqScales) {
+	n := len(p.C)
+	m := p.Dims.Dim()
+
+	costScale := math.Max(1, linalg.NormInf(p.C))
+	c := p.C.Clone()
+	c.Scale(1 / costScale)
+
+	//bbvet:allow csralias the pattern is immutable and shared by design; only Val is private
+	g := &linalg.SparseMatrix{
+		Rows: p.GSparse.Rows, Cols: p.GSparse.Cols,
+		RowPtr: p.GSparse.RowPtr, ColIdx: p.GSparse.ColIdx,
+		Val: append([]float64(nil), p.GSparse.Val...),
+	}
+	h := p.H.Clone()
+	rowScale := make(linalg.Vector, m)
+	rowNorm := func(i int) float64 {
+		return linalg.NormInf(g.Val[g.RowPtr[i]:g.RowPtr[i+1]])
+	}
+	for i := 0; i < p.Dims.NonNeg; i++ {
+		r := math.Max(rowNorm(i), math.Abs(h[i]))
+		if r == 0 {
+			r = 1
+		}
+		rowScale[i] = r
+	}
+	off := p.Dims.NonNeg
+	for _, q := range p.Dims.SOC {
+		r := 0.0
+		for i := off; i < off+q; i++ {
+			if v := math.Max(rowNorm(i), math.Abs(h[i])); v > r {
+				r = v
+			}
+		}
+		if r == 0 {
+			r = 1
+		}
+		for i := off; i < off+q; i++ {
+			rowScale[i] = r
+		}
+		off += q
+	}
+	for i := 0; i < m; i++ {
+		inv := 1 / rowScale[i]
+		row := g.Val[g.RowPtr[i]:g.RowPtr[i+1]]
+		for j := range row {
+			row[j] *= inv
+		}
+		h[i] *= inv
+	}
+
+	sp := &Problem{C: c, GSparse: g, H: h, Dims: p.Dims}
+	sc := &eqScales{costScale: costScale, rowScale: rowScale}
+	equilibrateEq(p, sp, sc, n)
+	return sp, sc
+}
+
+// equilibrateEq scales the equality rows of (A | b) into sp — the shared
+// tail of both equilibrate paths. No-op without equalities.
+func equilibrateEq(p, sp *Problem, sc *eqScales, n int) {
+	if p.A == nil {
+		return
+	}
+	a := p.A.Clone()
+	b := p.B.Clone()
+	sc.eqScale = make(linalg.Vector, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		r := linalg.NormInf(a.Data[i*n : (i+1)*n])
+		if r == 0 {
+			r = math.Max(1, math.Abs(b[i]))
+		}
+		sc.eqScale[i] = r
+		inv := 1 / r
+		row := a.Data[i*n : (i+1)*n]
+		for j := range row {
+			row[j] *= inv
+		}
+		b[i] *= inv
+	}
+	sp.A = a
+	sp.B = b
 }
 
 // unscale maps a solution of the equilibrated problem back to the original

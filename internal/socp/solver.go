@@ -32,6 +32,9 @@ func SolveContext(ctx context.Context, p *Problem, opt Options) (*Solution, erro
 		return nil, errors.New("socp: cone dimension is zero")
 	}
 	o := opt.withDefaults()
+	if o.DenseKKT && p.G == nil {
+		return nil, errors.New("socp: DenseKKT needs a dense G, but the problem carries GSparse")
+	}
 	sp, scales := equilibrate(p, o.Cache)
 	s := &state{ctx: ctx, p: sp, opt: o}
 	// The warm start arrives in the original coordinates; map it into the
@@ -84,7 +87,11 @@ type state struct {
 	// sv is the sparse view of the (equilibrated) problem's constraint
 	// matrices; nil when Options.DenseKKT selects the dense oracle path.
 	sv *sparseView
-	ws workspace
+	// factorBackend is the resolved sparse factorization backend
+	// (FactorSparse or FactorSupernodal, never FactorAuto); meaningful only
+	// when sparseFactor() is true.
+	factorBackend Factorization
+	ws            workspace
 }
 
 // workspace holds every buffer the solver reuses across iterations, so that
@@ -130,6 +137,7 @@ func (st *state) initWorkspace() {
 		st.sv = st.p.sparse()
 	}
 	if st.sparseFactor() {
+		st.factorBackend = ResolveFactorization(st.opt.Factorization, n+pe)
 		if pe > 0 {
 			ws.full = linalg.NewVector(n + pe)
 			ws.fsol = linalg.NewVector(n + pe)
@@ -251,10 +259,11 @@ type kktFactor struct {
 	kkt  *linalg.Matrix // assembled [[H,Aᵀ],[A,0]] when pe > 0
 	ldlt *linalg.LDLT
 
-	// Sparse backend: schol is the simplicial LDLᵀ of hs, which is the
-	// sparse H (pe == 0, unregularized — refinement sweeps the shift out)
-	// or the sparse reduced KKT matrix (pe > 0). nil on the dense backend.
-	schol *linalg.SparseCholesky
+	// Sparse backend: schol is the sparse LDLᵀ (simplicial or supernodal)
+	// of hs, which is the sparse H (pe == 0, unregularized — refinement
+	// sweeps the shift out) or the sparse reduced KKT matrix (pe > 0).
+	// nil on the dense backend.
+	schol linalg.SparseLDLT
 	hs    *linalg.SparseMatrix
 }
 
@@ -324,7 +333,7 @@ func (st *state) factor(w *cone.Scaling) (*kktFactor, error) {
 //
 //bbvet:hotpath
 func (st *state) factorSparse(f *kktFactor) (*kktFactor, error) {
-	ne := st.sv.normalEq(st.opt.Cache)
+	ne := st.sv.normalEq(st.opt.Cache, st.factorBackend, st.opt.FactorWorkers)
 	ne.ata.Compute(st.sv.gs)
 	h := ne.ata.Result
 	reg := st.opt.KKTReg * (1 + h.NormInf())

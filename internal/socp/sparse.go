@@ -47,14 +47,22 @@ type socBlockView struct {
 	gv []float64
 }
 
-// newSparseView builds the sparse structure for a validated problem.
+// newSparseView builds the sparse structure for a validated problem. A
+// problem carrying GSparse uses the caller's CSR matrix directly; a dense G
+// is converted. Both give the same pattern and values, so the views solve
+// identically.
 func newSparseView(p *Problem) *sparseView {
-	sv := &sparseView{g: linalg.NewSparseFromDense(p.G), dims: p.Dims}
+	sv := &sparseView{dims: p.Dims}
+	if p.GSparse != nil {
+		sv.g = p.GSparse
+	} else {
+		sv.g = linalg.NewSparseFromDense(p.G)
+	}
 	if p.A != nil {
 		sv.a = linalg.NewSparseFromDense(p.A)
 	}
-	n := p.G.Cols
-	pattern := make([][]int, p.G.Rows)
+	n := sv.g.Cols
+	pattern := make([][]int, sv.g.Rows)
 	for i := 0; i < p.Dims.NonNeg; i++ {
 		lo, hi := sv.g.RowPtr[i], sv.g.RowPtr[i+1]
 		//bbvet:allow csralias transient pattern view; NewSparseFromPattern copies it below
@@ -81,7 +89,7 @@ func newSparseView(p *Problem) *sparseView {
 		blk := socBlockView{off: off, q: q, cols: cols, gv: make([]float64, q*len(cols))}
 		for r := 0; r < q; r++ {
 			for k, j := range cols {
-				blk.gv[r*len(cols)+k] = p.G.At(off+r, j)
+				blk.gv[r*len(cols)+k] = sv.g.At(off+r, j)
 			}
 		}
 		sv.socs = append(sv.socs, blk)
@@ -90,7 +98,7 @@ func newSparseView(p *Problem) *sparseView {
 		}
 		off += q
 	}
-	sv.gs = linalg.NewSparseFromPattern(p.G.Rows, n, pattern)
+	sv.gs = linalg.NewSparseFromPattern(sv.g.Rows, n, pattern)
 	sv.colBuf = linalg.NewVector(maxQ)
 	sv.outBuf = linalg.NewVector(maxQ)
 	return sv

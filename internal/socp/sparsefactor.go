@@ -14,8 +14,8 @@ import (
 // refills numeric values and runs the numeric refactorization, dropping the
 // per-iteration factor cost from the dense O(n³) to O(nnz(L)·row-width).
 type neFactor struct {
-	ata  *linalg.SparseAtA      // H on its fixed pattern
-	chol *linalg.SparseCholesky // factor of H (pe == 0) or of the reduced KKT (pe > 0)
+	ata  *linalg.SparseAtA // H on its fixed pattern
+	chol linalg.SparseLDLT // factor of H (pe == 0) or of the reduced KKT (pe > 0)
 
 	// pe > 0: the quasi-definite reduced KKT matrix [[H+regI, Aᵀ], [A, −regI]]
 	// on a fixed pattern. The A blocks are written at construction (and
@@ -40,12 +40,14 @@ type neFactor struct {
 // pattern. a is the problem's equality-constraint matrix in CSR form (nil
 // without equalities). A non-nil syms shares the factorization's symbolic
 // analysis (ordering, etree, column pattern) across concurrent builds of
-// the same pattern; nil analyzes locally.
-func newNEFactor(sv *sparseView, a *linalg.SparseMatrix, syms *linalg.SymbolicCache) *neFactor {
+// the same pattern; nil analyzes locally. backend must be a resolved
+// factorization choice — FactorSparse or FactorSupernodal, never
+// FactorAuto — and workers bounds the supernodal worker pool.
+func newNEFactor(sv *sparseView, a *linalg.SparseMatrix, syms *linalg.SymbolicCache, backend Factorization, workers int) *neFactor {
 	f := &neFactor{ata: linalg.NewSparseAtA(sv.gs)}
 	h := f.ata.Result
 	if a == nil {
-		f.chol = newSparseChol(h, syms)
+		f.chol = newSparseChol(h, syms, backend, workers)
 		return f
 	}
 	n, pe := h.Rows, a.Rows
@@ -107,13 +109,20 @@ func newNEFactor(sv *sparseView, a *linalg.SparseMatrix, syms *linalg.SymbolicCa
 	for i := 0; i < n; i++ {
 		f.diagInH[i] = h.Index(i, i) >= 0
 	}
-	f.chol = newSparseChol(f.kkt, syms)
+	f.chol = newSparseChol(f.kkt, syms, backend, workers)
 	return f
 }
 
-// newSparseChol builds the numeric factorization workspace for m's pattern,
-// sharing the symbolic analysis through syms when one is supplied.
-func newSparseChol(m *linalg.SparseMatrix, syms *linalg.SymbolicCache) *linalg.SparseCholesky {
+// newSparseChol builds the numeric factorization workspace for m's pattern
+// on the requested backend, sharing the symbolic analysis through syms when
+// one is supplied.
+func newSparseChol(m *linalg.SparseMatrix, syms *linalg.SymbolicCache, backend Factorization, workers int) linalg.SparseLDLT {
+	if backend == FactorSupernodal {
+		if syms != nil {
+			return syms.AcquireSupernodal(m, workers)
+		}
+		return linalg.Analyze(m, nil).NewSupernodal(workers)
+	}
 	if syms != nil {
 		return syms.Acquire(m)
 	}
@@ -163,15 +172,16 @@ func (f *neFactor) fillKKT(reg float64) {
 
 // normalEq returns the sparse factorization pipeline of the view, acquiring
 // it from the pattern cache (when one is configured) or running the
-// symbolic analysis locally on first use.
+// symbolic analysis locally on first use. backend must be resolved (never
+// FactorAuto); pipelines are cached per (pattern, backend) pair.
 //
 //bbvet:hotpath
-func (sv *sparseView) normalEq(pc *PatternCache) *neFactor {
+func (sv *sparseView) normalEq(pc *PatternCache, backend Factorization, workers int) *neFactor {
 	if sv.ne == nil {
 		if pc != nil {
-			sv.ne = pc.acquire(sv)
+			sv.ne = pc.acquire(sv, backend, workers)
 		} else {
-			sv.ne = newNEFactor(sv, sv.a, nil)
+			sv.ne = newNEFactor(sv, sv.a, nil, backend, workers)
 		}
 	}
 	return sv.ne
