@@ -1,0 +1,27 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// BenchmarkBbvetSelfRun measures one cold whole-repo analysis pass: a fresh
+// loader, full type-check of every package, and all analyzers including the
+// interprocedural summaries. CI feeds the result through cmd/benchjson into
+// BENCH_vet.json so analysis wall-clock is tracked as the repo grows.
+func BenchmarkBbvetSelfRun(b *testing.B) {
+	analyzers, err := analysis.ByName("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		diags, err := Check("../..", nil, analyzers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(diags) != 0 {
+			b.Fatalf("self-run is not clean: %d findings", len(diags))
+		}
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/analysis"
@@ -57,8 +58,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	if *list {
-		for _, a := range analysis.All() {
-			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		as := analysis.All()
+		sort.Slice(as, func(i, j int) bool { return as[i].Name < as[j].Name })
+		for _, a := range as {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -14,11 +15,25 @@ func TestListAnalyzers(t *testing.T) {
 	}
 	for _, name := range []string{
 		"floatcmp", "maprange", "hotalloc", "statuscheck", "csralias",
-		"ctxflow", "leakcheck", "faultsite", "hotloop",
+		"ctxflow", "leakcheck", "faultsite", "hotloop", "concdiscipline",
 	} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing analyzer %s:\n%s", name, out.String())
 		}
+	}
+	// The listing is sorted by name with a one-line description per row.
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	var names []string
+	for _, line := range lines {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			t.Errorf("-list row has no description: %q", line)
+			continue
+		}
+		names = append(names, fields[0])
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("-list output not sorted by analyzer name: %v", names)
 	}
 }
 
@@ -26,6 +41,43 @@ func TestUnknownAnalyzerIsUsageError(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if code := run([]string{"-analyzers", "bogus", "."}, &out, &errOut); code != 2 {
 		t.Fatalf("unknown analyzer exited %d, want 2", code)
+	}
+	if msg := errOut.String(); !strings.Contains(msg, "valid: ") {
+		t.Errorf("stderr does not list the valid analyzers: %q", msg)
+	}
+	// A near-miss spelling earns a did-you-mean hint on stderr.
+	errOut.Reset()
+	if code := run([]string{"-analyzers", "hotaloc", "."}, &out, &errOut); code != 2 {
+		t.Fatalf("misspelled analyzer exited %d, want 2", code)
+	}
+	if msg := errOut.String(); !strings.Contains(msg, `did you mean "hotalloc"?`) {
+		t.Errorf("stderr has no suggestion for the near-miss: %q", msg)
+	}
+}
+
+// TestOutputIsDeterministic runs the same scan twice through the full CLI
+// path (text and JSON) and requires byte-identical output: diagnostics are
+// sorted, summaries never iterate maps into messages, and the witness
+// chains are deterministic functions of the source.
+func TestOutputIsDeterministic(t *testing.T) {
+	t.Setenv("GITHUB_ACTIONS", "")
+	for _, mode := range [][]string{
+		{"../../testdata/analysis/maprange", "../../testdata/analysis/concdiscipline"},
+		{"-json", "../../testdata/analysis/hotalloc", "../../testdata/analysis/csralias"},
+	} {
+		var first, second, errOut bytes.Buffer
+		c1 := run(mode, &first, &errOut)
+		c2 := run(mode, &second, &errOut)
+		if c1 != c2 {
+			t.Fatalf("%v: exit codes differ across runs: %d then %d", mode, c1, c2)
+		}
+		if first.String() != second.String() {
+			t.Errorf("%v: output differs across identical runs:\n--- first\n%s--- second\n%s",
+				mode, first.String(), second.String())
+		}
+		if first.Len() == 0 {
+			t.Errorf("%v: fixture scan produced no output at all", mode)
+		}
 	}
 }
 

@@ -89,10 +89,23 @@ func All() []*Analyzer {
 		LeakCheck,
 		FaultSite,
 		HotLoop,
+		ConcDiscipline,
 	}
 }
 
-// ByName resolves a comma-separated analyzer list against the suite.
+// Names returns the analyzer names of the suite, sorted.
+func Names() []string {
+	names := make([]string, 0, len(All()))
+	for _, a := range All() {
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByName resolves a comma-separated analyzer list against the suite. An
+// unknown name yields an error that lists the valid names and, when a
+// close misspelling exists, suggests it.
 func ByName(names string) ([]*Analyzer, error) {
 	if names == "" {
 		return All(), nil
@@ -106,11 +119,62 @@ func ByName(names string) ([]*Analyzer, error) {
 		n = strings.TrimSpace(n)
 		a, ok := byName[n]
 		if !ok {
-			return nil, fmt.Errorf("unknown analyzer %q", n)
+			return nil, fmt.Errorf("%s", unknownAnalyzerText(n))
 		}
 		out = append(out, a)
 	}
 	return out, nil
+}
+
+// unknownAnalyzerText renders the shared unknown-analyzer-name message:
+// the rejected name, the sorted valid names, and a did-you-mean hint when
+// one is close enough to be a plausible typo.
+func unknownAnalyzerText(n string) string {
+	msg := fmt.Sprintf("unknown analyzer %q (valid: %s)", n, strings.Join(Names(), ", "))
+	if near := nearestName(n); near != "" {
+		msg += fmt.Sprintf("; did you mean %q?", near)
+	}
+	return msg
+}
+
+// nearestName returns the suite name with the smallest edit distance to n,
+// or "" when even the best candidate differs in more than half its
+// letters (a threshold that keeps garbage input from producing a random
+// suggestion). Ties break toward the alphabetically first name, so the
+// hint is deterministic.
+func nearestName(n string) string {
+	best, bestDist := "", -1
+	for _, cand := range Names() {
+		d := editDistance(n, cand)
+		if bestDist < 0 || d < bestDist {
+			best, bestDist = cand, d
+		}
+	}
+	if best == "" || bestDist > len(best)/2 {
+		return ""
+	}
+	return best
+}
+
+// editDistance is the Levenshtein distance between two short names.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			sub := prev[j-1]
+			if a[i-1] != b[j-1] {
+				sub++
+			}
+			cur[j] = min(sub, min(prev[j]+1, cur[j-1]+1))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
 }
 
 // Run applies the analyzers to the package and returns the surviving
@@ -210,7 +274,7 @@ func collectAllows(pkg *Package) *suppressions {
 					s.malformed = append(s.malformed, Diagnostic{
 						Pos:      pos,
 						Analyzer: "bbvet",
-						Message:  fmt.Sprintf("bbvet:allow names unknown analyzer %q", name),
+						Message:  "bbvet:allow names " + unknownAnalyzerText(name),
 					})
 					continue
 				}
@@ -341,8 +405,10 @@ func (s *suppressions) allows(d Diagnostic) bool {
 	return false
 }
 
-// funcHotpath reports whether the function declaration carries the
-// bbvet:hotpath directive in its doc comment.
+// funcHotpath reports whether the function declaration's doc comment
+// carries the hotpath directive. (The directive name is spelled via the
+// constant here: a doc-comment line that *starts* with the directive text
+// would annotate its own function.)
 func funcHotpath(fn *ast.FuncDecl) bool {
 	if fn.Doc == nil {
 		return false

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -165,6 +166,34 @@ func TestByName(t *testing.T) {
 	}
 	if _, err := ByName("floatcmp,bogus"); err == nil {
 		t.Fatal("ByName accepted an unknown analyzer")
+	}
+}
+
+// TestByNameUnknownError pins the error text: the valid names (sorted, so
+// the listing is stable) and, for a near-miss, a did-you-mean hint.
+func TestByNameUnknownError(t *testing.T) {
+	_, err := ByName("hotaloc")
+	if err == nil {
+		t.Fatal("ByName accepted a misspelled analyzer")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `unknown analyzer "hotaloc"`) {
+		t.Errorf("error does not name the bad input: %q", msg)
+	}
+	names := Names()
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("Names() not sorted: %v", names)
+	}
+	if !strings.Contains(msg, "valid: "+strings.Join(names, ", ")) {
+		t.Errorf("error does not list the valid names: %q", msg)
+	}
+	if !strings.Contains(msg, `did you mean "hotalloc"?`) {
+		t.Errorf("near-miss did not produce a suggestion: %q", msg)
+	}
+	// Garbage far from every name gets the list but no bogus suggestion.
+	_, err = ByName("zzzzqqqq")
+	if err == nil || strings.Contains(err.Error(), "did you mean") {
+		t.Errorf("implausible input still got a suggestion: %v", err)
 	}
 }
 

@@ -1,0 +1,444 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ConcDiscipline enforces the module's concurrency discipline around
+// goroutine creation, using the call-graph summaries of summary.go to see
+// through helpers. Four rules:
+//
+//  1. No goroutine may be launched while a sync.Mutex/RWMutex is held. The
+//     spawned work runs concurrently with the critical section; if it (or
+//     anything it calls) touches the same structure, the lock protects
+//     nothing, and if it tries to take the same lock the program deadlocks
+//     depending on scheduling. The check is path-sensitive: a forward
+//     may-held dataflow over the CFG tracks which lock receivers are held
+//     at each go statement — and at each call whose summary says the
+//     callee spawns, so hiding the `go` in a helper does not help.
+//     A deferred Unlock keeps the lock held to function exit, as it does
+//     dynamically.
+//  2. A spawned closure must not capture an enclosing loop variable; it
+//     must receive it as an argument. Per-iteration loop variables
+//     (go ≥ 1.22) make the aliasing benign, but the explicit parameter
+//     keeps the hand-off auditable and the code correct under older
+//     toolchains that may still build this module.
+//  3. A go statement inside a loop must belong to an approved worker-pool
+//     shape: either the innermost enclosing loop is a fixed-bound counter
+//     loop (`for i := 0; i < parallelism; i++` — the bound a variable or
+//     constant, not a data-dependent expression), or the loop body
+//     acquires a semaphore (a channel send or receive) before spawning.
+//     Anything else spawns a number of goroutines proportional to data
+//     size, which is exactly the unbounded-concurrency shape RunSweep's
+//     bounded pool exists to prevent.
+//  4. A goroutine must not terminate the process: os.Exit, log.Fatal*,
+//     log.Panic*, runtime.Goexit — directly in the spawned literal or
+//     transitively through any statically resolved callee — kill the whole
+//     program from a worker, skipping deferred cleanup in every other
+//     goroutine. Errors flow back on channels or error slots instead.
+//
+// Function literals are separate spawn contexts: a go statement inside a
+// closure that is itself defined in a loop counts against the closure's
+// own loops only (the spawn multiplicity is the closure's invocation
+// count, which rule 3 cannot see; the conservatism is documented in
+// DESIGN.md §8). Lock tracking likewise stays within one function body —
+// a literal's body gets its own CFG and its own held-set.
+var ConcDiscipline = &Analyzer{
+	Name: "concdiscipline",
+	Doc:  "flags goroutines spawned under a held lock, loop-variable capture, unbounded spawns, and process-killing goroutines",
+	Run:  runConcDiscipline,
+}
+
+func runConcDiscipline(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkLocksHeld(pass, fn.Body)
+			checkSpawnShapes(pass, fn.Body)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkLocksHeld(pass, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: go under a held lock (CFG dataflow).
+
+// lockSet is the may-held fact: the canonical receiver strings of locks
+// that may be held at a program point on some path.
+type lockSet map[string]bool
+
+func (s lockSet) clone() lockSet {
+	out := make(lockSet, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+// heldNames renders a held-set for a diagnostic: sorted, comma-joined.
+func (s lockSet) heldNames() string {
+	names := make([]string, 0, len(s))
+	for k := range s {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// lockProblem is the forward may-held analysis. Transfer is shared with
+// the reporting pass through step, so the two agree exactly on semantics.
+type lockProblem struct {
+	pass *Pass
+}
+
+func (p *lockProblem) Boundary() lockSet { return lockSet{} }
+func (p *lockProblem) Initial() lockSet  { return lockSet{} }
+
+func (p *lockProblem) Join(a, b lockSet) lockSet {
+	out := a.clone()
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+func (p *lockProblem) Equal(a, b lockSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *lockProblem) Transfer(b *Block, in lockSet) lockSet {
+	held := in.clone()
+	for _, n := range b.Nodes {
+		p.step(held, n, nil)
+	}
+	return held
+}
+
+// step advances the held-set over one CFG node and, when report is
+// non-nil, emits rule-1 diagnostics for spawns under a held lock. Nested
+// function literals are opaque: their bodies run later, under their own
+// CFG and held-set.
+func (p *lockProblem) step(held lockSet, n ast.Node, report func(pos token.Pos, what string)) {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		// Deferred calls run at function exit: a deferred Unlock releases
+		// nothing before then, a deferred Lock is not acquired yet.
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			if report != nil && len(held) > 0 {
+				report(m.Go, "go statement")
+			}
+			return false // the spawned call runs later, not here
+		case *ast.CallExpr:
+			p.stepCall(held, m, report)
+		}
+		return true
+	})
+}
+
+// stepCall folds one call into the held-set and reports spawning callees.
+func (p *lockProblem) stepCall(held lockSet, call *ast.CallExpr, report func(pos token.Pos, what string)) {
+	info := p.pass.Pkg.Info
+	if recv, name, ok := lockMethod(info, call); ok {
+		switch name {
+		case "Lock", "RLock":
+			held[recv] = true
+		case "Unlock", "RUnlock":
+			delete(held, recv)
+		}
+		return
+	}
+	if report == nil || len(held) == 0 {
+		return
+	}
+	ip := p.pass.Pkg.Interp()
+	if ip == nil {
+		return
+	}
+	t := ResolveCall(info, call)
+	if t.Static == nil || !ip.intraModule(t.Static) {
+		return
+	}
+	if s := ip.SummaryOf(t.Static); s != nil && s.Spawns {
+		report(call.Lparen, "call to "+ip.displayName(t.Static)+", which spawns a goroutine,")
+	}
+}
+
+// lockMethod recognizes a call to sync.(RW)Mutex.Lock/RLock/Unlock/RUnlock
+// and returns the canonical receiver string plus the method name. The key
+// is textual (types.ExprString of the receiver), so two spellings of the
+// same lvalue match and distinct locks with identical spellings in one
+// function — which cannot happen for a meaningful critical section —
+// would merge conservatively.
+func lockMethod(info *types.Info, call *ast.CallExpr) (string, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	selection, ok := info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return "", "", false
+	}
+	f, ok := selection.Obj().(*types.Func)
+	if !ok || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+// checkLocksHeld runs the rule-1 dataflow over one body and reports every
+// spawn point whose entry fact can hold a lock.
+func checkLocksHeld(pass *Pass, body *ast.BlockStmt) {
+	// Fast pre-screen: bodies with no lock method calls at all — the vast
+	// majority — skip CFG construction entirely.
+	any := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, _, ok := lockMethod(pass.Pkg.Info, call); ok {
+				any = true
+			}
+		}
+		return !any
+	})
+	if !any {
+		return
+	}
+	g := BuildCFG(body)
+	p := &lockProblem{pass: pass}
+	facts := SolveForward[lockSet](g, p)
+	for _, blk := range g.Blocks {
+		held := facts.In[blk.Index].clone()
+		for _, n := range blk.Nodes {
+			p.step(held, n, func(pos token.Pos, what string) {
+				pass.Reportf(pos, "%s while %s is held; spawn after unlocking", what, held.heldNames())
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Rules 2–4: spawn shapes (syntactic walk with a loop stack).
+
+// checkSpawnShapes walks one function body tracking the stack of enclosing
+// loops; each go statement is checked for loop-variable capture (rule 2),
+// worker-pool shape (rule 3), and process-killing callees (rule 4).
+// Entering a function literal resets the loop stack: its body spawns once
+// per invocation, not once per iteration of the lexically enclosing loop.
+func checkSpawnShapes(pass *Pass, body *ast.BlockStmt) {
+	var walk func(n ast.Node, loops []ast.Stmt)
+	walk = func(n ast.Node, loops []ast.Stmt) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				walk(m.Body, nil)
+				return false
+			case *ast.ForStmt:
+				if m.Init != nil {
+					walk(m.Init, loops)
+				}
+				if m.Cond != nil {
+					walk(m.Cond, loops)
+				}
+				if m.Post != nil {
+					walk(m.Post, loops)
+				}
+				walk(m.Body, append(loops, m))
+				return false
+			case *ast.RangeStmt:
+				walk(m.X, loops)
+				walk(m.Body, append(loops, m))
+				return false
+			case *ast.GoStmt:
+				checkSpawn(pass, m, loops)
+				// Descend normally: the call's arguments are evaluated at
+				// the spawn site, and a nested literal restarts the walk.
+			}
+			return true
+		})
+	}
+	walk(body, nil)
+}
+
+func checkSpawn(pass *Pass, g *ast.GoStmt, loops []ast.Stmt) {
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		checkLoopCapture(pass, lit, loops)
+	}
+	if len(loops) > 0 && !approvedPool(pass, g, loops[len(loops)-1]) {
+		pass.Reportf(g.Go, "go statement in a loop spawns an unbounded number of goroutines; use a fixed-size worker pool or acquire a semaphore before spawning")
+	}
+	checkFatalSpawn(pass, g)
+}
+
+// checkLoopCapture reports uses, inside a spawned literal's body, of
+// variables declared by any enclosing loop header (rule 2).
+func checkLoopCapture(pass *Pass, lit *ast.FuncLit, loops []ast.Stmt) {
+	if len(loops) == 0 {
+		return
+	}
+	info := pass.Pkg.Info
+	loopVars := map[types.Object]bool{}
+	addIdent := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := info.Defs[id]; obj != nil {
+				loopVars[obj] = true
+			}
+		}
+	}
+	for _, l := range loops {
+		switch l := l.(type) {
+		case *ast.RangeStmt:
+			if l.Tok == token.DEFINE {
+				addIdent(l.Key)
+				if l.Value != nil {
+					addIdent(l.Value)
+				}
+			}
+		case *ast.ForStmt:
+			if as, ok := l.Init.(*ast.AssignStmt); ok && as.Tok == token.DEFINE {
+				for _, lhs := range as.Lhs {
+					addIdent(lhs)
+				}
+			}
+		}
+	}
+	if len(loopVars) == 0 {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := info.Uses[id]; obj != nil && loopVars[obj] {
+			pass.Reportf(id.Pos(), "spawned closure captures loop variable %s; pass it as an argument", id.Name)
+		}
+		return true
+	})
+}
+
+// approvedPool reports whether the innermost loop around a go statement is
+// one of the two sanctioned bounded-spawn shapes (rule 3).
+func approvedPool(pass *Pass, g *ast.GoStmt, loop ast.Stmt) bool {
+	if f, ok := loop.(*ast.ForStmt); ok && fixedBoundLoop(f) {
+		return true
+	}
+	return semaphoreBefore(pass, g, loop)
+}
+
+// fixedBoundLoop recognizes `for i := ...; i < B; ...` (or <=) where the
+// bound B is a plain variable, selector, or literal — a worker count fixed
+// before the loop. A call or len() in the bound makes the trip count
+// data-dependent and does not qualify.
+func fixedBoundLoop(f *ast.ForStmt) bool {
+	cond, ok := f.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	if cond.Op != token.LSS && cond.Op != token.LEQ {
+		return false
+	}
+	switch ast.Unparen(cond.Y).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.BasicLit:
+		return true
+	}
+	return false
+}
+
+// semaphoreBefore reports whether the loop body performs a channel
+// operation (send or receive) before the go statement in source order —
+// the acquire half of a semaphore-bounded spawn loop.
+func semaphoreBefore(pass *Pass, g *ast.GoStmt, loop ast.Stmt) bool {
+	var body *ast.BlockStmt
+	switch l := loop.(type) {
+	case *ast.ForStmt:
+		body = l.Body
+	case *ast.RangeStmt:
+		body = l.Body
+	}
+	if body == nil {
+		return false
+	}
+	info := pass.Pkg.Info
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found || n == nil || n.Pos() >= g.Go {
+			return !found
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if t := info.Types[n.X].Type; t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkFatalSpawn reports process-killing sinks reachable from a go
+// statement (rule 4): direct calls in a spawned literal, and statically
+// resolved callees whose summary carries the Fatal fact.
+func checkFatalSpawn(pass *Pass, g *ast.GoStmt) {
+	info := pass.Pkg.Info
+	ip := pass.Pkg.Interp()
+	reportCall := func(call *ast.CallExpr) {
+		t := ResolveCall(info, call)
+		switch {
+		case t.Static != nil && ip != nil && ip.intraModule(t.Static):
+			if s := ip.SummaryOf(t.Static); s != nil && s.Fatal {
+				pass.Reportf(call.Lparen, "goroutine can terminate the process via %s (%s); return the error instead", ip.displayName(t.Static), s.FatalWhat)
+			}
+		case t.Static != nil:
+			if fatalCalls[stdQualifiedName(t.Static)] {
+				pass.Reportf(call.Lparen, "goroutine terminates the process via %s; return the error instead", stdQualifiedName(t.Static))
+			}
+		}
+	}
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				reportCall(call)
+			}
+			return true
+		})
+		return
+	}
+	reportCall(g.Call)
+}

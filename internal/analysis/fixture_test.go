@@ -116,6 +116,8 @@ func TestLeakCheckFixture(t *testing.T)   { runFixture(t, LeakCheck, "leakcheck"
 func TestFaultSiteFixture(t *testing.T)   { runFixture(t, FaultSite, "faultsite") }
 func TestHotLoopFixture(t *testing.T)     { runFixture(t, HotLoop, "hotloop") }
 
+func TestConcDisciplineFixture(t *testing.T) { runFixture(t, ConcDiscipline, "concdiscipline") }
+
 // TestFixturesAreExercised guards against a silently skipped fixture: every
 // fixture package must produce at least one positive and contain at least
 // one suppression directive, so both directions of each analyzer stay

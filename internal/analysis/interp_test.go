@@ -1,0 +1,252 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// interpModule loads a one-package throwaway module and returns the package
+// plus its interprocedural index. The source deliberately imports nothing,
+// so the tests exercise the call graph and summaries, not the importer.
+func interpModule(t *testing.T, src string) (*Package, *Interp) {
+	t.Helper()
+	loader := writeModule(t, map[string]string{"p/p.go": src})
+	pkg, err := loader.load("example.com/m/p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg, pkg.Interp()
+}
+
+// funcOf resolves a package-level function by name.
+func funcOf(t *testing.T, pkg *Package, name string) *types.Func {
+	t.Helper()
+	f, ok := pkg.Types.Scope().Lookup(name).(*types.Func)
+	if !ok {
+		t.Fatalf("no function %q in %s", name, pkg.Path)
+	}
+	return f
+}
+
+const summarySrc = `package p
+
+func leaf() []int { return make([]int, 4) }
+
+func mid() []int { return leaf() }
+
+func top() []int { return mid() }
+
+func pure(x int) int { return x + 1 }
+
+// bbvet:hotpath audited zero-alloc contract
+func trusted() []int { return make([]int, 4) }
+
+func callsTrusted() []int { return trusted() }
+
+func evenAlloc(n int) []int {
+	if n == 0 {
+		return make([]int, 1)
+	}
+	return oddAlloc(n - 1)
+}
+
+func oddAlloc(n int) []int { return evenAlloc(n) }
+
+func even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return odd(n - 1)
+}
+
+func odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return even(n - 1)
+}
+
+func identity(xs []int) []int { return xs }
+
+var sink []int
+
+func stash(xs []int) { sink = xs }
+
+func stashSecond(a, b []int) { sink = b }
+
+func reads(xs []int) int { return len(xs) }
+
+func stashViaHelper(xs []int) { stash(xs) }
+
+func returnsViaHelper(xs []int) []int { return identity(xs) }
+
+func unsortedKeys(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func wrapsUnsorted(m map[int]int) []int { return unsortedKeys(m) }
+`
+
+func TestSummaryTransitiveAlloc(t *testing.T) {
+	pkg, ip := interpModule(t, summarySrc)
+	s := ip.SummaryOf(funcOf(t, pkg, "top"))
+	if s == nil || !s.Allocates {
+		t.Fatalf("top: Allocates = false, want true (summary %+v)", s)
+	}
+	if s.AllocVia == nil || s.AllocVia.Name() != "mid" {
+		t.Errorf("top: AllocVia = %v, want mid", s.AllocVia)
+	}
+	path := ip.AllocPath(funcOf(t, pkg, "top"))
+	if !strings.Contains(path, "top → mid → leaf: make at p.go:") {
+		t.Errorf("AllocPath(top) = %q, want the full witness chain down to the make", path)
+	}
+}
+
+func TestSummaryPureFunction(t *testing.T) {
+	pkg, ip := interpModule(t, summarySrc)
+	s := ip.SummaryOf(funcOf(t, pkg, "pure"))
+	if s == nil || s.Allocates || s.RetainsParam != 0 || s.ReturnsParam != 0 || s.OrderedReturn {
+		t.Errorf("pure: want an all-clear summary, got %+v", s)
+	}
+}
+
+// TestSummaryHotpathBoundary: a callee annotated bbvet:hotpath is a trusted
+// zero-alloc contract, so its (directly checked) allocations do not taint
+// callers. The annotated function's own summary still records the fact.
+func TestSummaryHotpathBoundary(t *testing.T) {
+	pkg, ip := interpModule(t, summarySrc)
+	if s := ip.SummaryOf(funcOf(t, pkg, "trusted")); s == nil || !s.Allocates {
+		t.Errorf("trusted: own summary should record the make, got %+v", s)
+	}
+	if s := ip.SummaryOf(funcOf(t, pkg, "callsTrusted")); s == nil || s.Allocates {
+		t.Errorf("callsTrusted: hotpath callee should not taint the caller, got %+v", s)
+	}
+	if !ip.Hotpath(funcOf(t, pkg, "trusted")) || ip.Hotpath(funcOf(t, pkg, "leaf")) {
+		t.Error("Hotpath classification wrong for trusted/leaf")
+	}
+}
+
+// TestSummaryRecursionFixpoint: mutually recursive functions converge — the
+// allocating pair both end up Allocates, the clean pair both end up clean,
+// and the results are final (stable on re-query).
+func TestSummaryRecursionFixpoint(t *testing.T) {
+	pkg, ip := interpModule(t, summarySrc)
+	for _, name := range []string{"evenAlloc", "oddAlloc"} {
+		if s := ip.SummaryOf(funcOf(t, pkg, name)); s == nil || !s.Allocates {
+			t.Errorf("%s: Allocates = false, want true through the cycle", name)
+		}
+	}
+	for _, name := range []string{"even", "odd"} {
+		if s := ip.SummaryOf(funcOf(t, pkg, name)); s == nil || s.Allocates {
+			t.Errorf("%s: Allocates = true, want false (no alloc anywhere in the cycle)", name)
+		}
+	}
+	first := ip.SummaryOf(funcOf(t, pkg, "evenAlloc"))
+	if again := ip.SummaryOf(funcOf(t, pkg, "evenAlloc")); again != first {
+		t.Error("re-query after convergence returned a different summary object")
+	}
+}
+
+func TestSummaryParamFacts(t *testing.T) {
+	pkg, ip := interpModule(t, summarySrc)
+	cases := []struct {
+		fn      string
+		retains uint64
+		returns uint64
+	}{
+		{"identity", 0, 1 << 0},
+		{"stash", 1 << 0, 0},
+		{"stashSecond", 1 << 1, 0},
+		{"reads", 0, 0},
+		{"stashViaHelper", 1 << 0, 0},   // retention propagates through stash
+		{"returnsViaHelper", 0, 1 << 0}, // aliasing propagates through identity
+	}
+	for _, c := range cases {
+		s := ip.SummaryOf(funcOf(t, pkg, c.fn))
+		if s == nil {
+			t.Fatalf("%s: nil summary", c.fn)
+		}
+		if s.RetainsParam != c.retains || s.ReturnsParam != c.returns {
+			t.Errorf("%s: Retains/Returns = %b/%b, want %b/%b",
+				c.fn, s.RetainsParam, s.ReturnsParam, c.retains, c.returns)
+		}
+	}
+}
+
+func TestSummaryOrderedReturn(t *testing.T) {
+	pkg, ip := interpModule(t, summarySrc)
+	for _, name := range []string{"unsortedKeys", "wrapsUnsorted"} {
+		if s := ip.SummaryOf(funcOf(t, pkg, name)); s == nil || !s.OrderedReturn {
+			t.Errorf("%s: OrderedReturn = false, want true", name)
+		}
+	}
+	if s := ip.SummaryOf(funcOf(t, pkg, "identity")); s.OrderedReturn {
+		t.Error("identity: OrderedReturn = true, want false")
+	}
+}
+
+// TestResolveCallClassification pins the CallTarget taxonomy on one body
+// containing every shape: direct call, concrete method, interface method,
+// function value, and a conversion (which is not a call at all).
+func TestResolveCallClassification(t *testing.T) {
+	pkg, _ := interpModule(t, `package p
+
+func f() {}
+
+type T struct{}
+
+func (T) M() {}
+
+type I interface{ M() }
+
+func calls(t T, i I, fn func(), n int) int {
+	f()
+	t.M()
+	i.M()
+	fn()
+	return int(n)
+}
+`)
+	var decl *ast.FuncDecl
+	for _, file := range pkg.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "calls" {
+				decl = fd
+			}
+		}
+	}
+	if decl == nil {
+		t.Fatal("function calls not found")
+	}
+	var got []CallTarget
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			got = append(got, ResolveCall(pkg.Info, call))
+		}
+		return true
+	})
+	if len(got) != 5 {
+		t.Fatalf("found %d call expressions, want 5", len(got))
+	}
+	if got[0].Static == nil || got[0].Static.Name() != "f" {
+		t.Errorf("f(): %+v, want static callee f", got[0])
+	}
+	if got[1].Static == nil || got[1].Static.Name() != "M" {
+		t.Errorf("t.M(): %+v, want static concrete method", got[1])
+	}
+	if got[2].Static != nil || got[2].Dynamic != "an interface method" || got[2].Name != "M" {
+		t.Errorf("i.M(): %+v, want dynamic interface method named M", got[2])
+	}
+	if got[3].Static != nil || got[3].Dynamic != "a function value" {
+		t.Errorf("fn(): %+v, want dynamic function value", got[3])
+	}
+	if got[4] != (CallTarget{}) {
+		t.Errorf("int(n): %+v, want the zero CallTarget for a conversion", got[4])
+	}
+}

@@ -57,6 +57,7 @@ type Loader struct {
 	std     types.Importer
 	pkgs    map[string]*Package // by import path
 	loading map[string]bool     // import cycle guard
+	interp  *Interp             // lazily built interprocedural index
 }
 
 // NewLoader builds a loader for the module rooted at or above dir.
@@ -142,6 +143,9 @@ func (l *Loader) load(path string) (*Package, error) {
 	if pkg, ok := l.pkgs[path]; ok {
 		return pkg, nil
 	}
+	if path != l.ModPath && !strings.HasPrefix(path, l.ModPath+"/") {
+		return nil, fmt.Errorf("analysis: package %s is outside module %s", path, l.ModPath)
+	}
 	if l.loading[path] {
 		return nil, fmt.Errorf("analysis: import cycle through %s", path)
 	}
@@ -153,7 +157,11 @@ func (l *Loader) load(path string) (*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(names) == 0 {
+	testNames, err := goTestFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 && len(testNames) == 0 {
 		return nil, fmt.Errorf("analysis: no Go source files in %s", dir)
 	}
 	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset, loader: l}
@@ -169,16 +177,29 @@ func (l *Loader) load(path string) (*Package, error) {
 		}
 		pkg.Files = append(pkg.Files, f)
 	}
-	testNames, err := goTestFiles(dir)
-	if err != nil {
-		return nil, err
-	}
 	for _, name := range testNames {
 		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, err
 		}
 		pkg.TestFiles = append(pkg.TestFiles, f)
+	}
+	if len(names) == 0 {
+		// Test-only package: there is nothing to type-check, but the parsed
+		// test files still feed the analyzers that read them (faultsite) and
+		// the suppression scanner. The synthetic types.Package keeps every
+		// Package field non-nil so analyzers need no special casing.
+		pkg.Name = strings.TrimSuffix(pkg.TestFiles[0].Name.Name, "_test")
+		pkg.Types = types.NewPackage(path, pkg.Name)
+		pkg.Info = &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+		}
+		l.pkgs[path] = pkg
+		return pkg, nil
 	}
 	pkg.Info = &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},

@@ -94,6 +94,7 @@ func (sc *SymbolicCache) Acquire(a *SparseMatrix) *SparseCholesky {
 	e := lookupEntry(sc.entries[h], a)
 	sc.mu.RUnlock()
 	if e == nil {
+		//bbvet:allow hotalloc symbolic analysis runs once per never-seen pattern, measured cold
 		e = sc.insert(h, a)
 	} else {
 		sc.hits.Add(1)
@@ -101,6 +102,7 @@ func (sc *SymbolicCache) Acquire(a *SparseMatrix) *SparseCholesky {
 	if f, ok := e.pool.Get().(*SparseCholesky); ok {
 		return f
 	}
+	//bbvet:allow hotalloc pool empty: first workspace for the pattern, steady state reuses pooled ones
 	return e.sym.NewNumeric()
 }
 
@@ -118,14 +120,17 @@ func (sc *SymbolicCache) AcquireSupernodal(a *SparseMatrix, workers int) *Supern
 	e := lookupEntry(sc.entries[h], a)
 	sc.mu.RUnlock()
 	if e == nil {
+		//bbvet:allow hotalloc symbolic analysis runs once per never-seen pattern, measured cold
 		e = sc.insert(h, a)
 	} else {
 		sc.hits.Add(1)
 	}
 	if f, ok := e.snPool.Get().(*SupernodalCholesky); ok {
+		//bbvet:allow hotalloc grows per-worker scratch only when the bound rises, steady state is a no-op
 		f.SetParallelism(workers)
 		return f
 	}
+	//bbvet:allow hotalloc pool empty: first workspace for the pattern, steady state reuses pooled ones
 	return e.sym.NewSupernodal(workers)
 }
 
@@ -176,6 +181,7 @@ func (sc *SymbolicCache) Release(f *SparseCholesky) {
 	e := entryForSym(sc.entries[h], f.sym)
 	sc.mu.RUnlock()
 	if e == nil {
+		//bbvet:allow hotalloc adopting a foreign symbolic factor happens once per pattern
 		e = sc.adopt(h, f.sym)
 	}
 	//bbvet:allow hotalloc pointer stored in interface directly, no allocation; AllocsPerRun guards pin it
@@ -196,6 +202,7 @@ func (sc *SymbolicCache) ReleaseSupernodal(f *SupernodalCholesky) {
 	e := entryForSym(sc.entries[h], f.sym)
 	sc.mu.RUnlock()
 	if e == nil {
+		//bbvet:allow hotalloc adopting a foreign symbolic factor happens once per pattern
 		e = sc.adopt(h, f.sym)
 	}
 	//bbvet:allow hotalloc pointer stored in interface directly, no allocation; AllocsPerRun guards pin it

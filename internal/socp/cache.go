@@ -92,6 +92,7 @@ func (pc *PatternCache) acquireDense(rows, cols int) *linalg.Matrix {
 	if m, ok := p.Get().(*linalg.Matrix); ok {
 		return m
 	}
+	//bbvet:allow hotalloc pool empty: first workspace of this dimension, measured cold
 	return linalg.NewMatrix(rows, cols)
 }
 
@@ -183,11 +184,13 @@ func (pc *PatternCache) acquire(sv *sparseView, backend Factorization, workers i
 		// The worker bound is a per-solve setting, not part of the pooled
 		// identity; refresh it (scheduling only — results never change).
 		if sc, ok := f.chol.(*linalg.SupernodalCholesky); ok {
+			//bbvet:allow hotalloc grows per-worker scratch only when the bound rises, steady state is a no-op
 			sc.SetParallelism(workers)
 		}
 		return f
 	}
 	pc.misses.Add(1)
+	//bbvet:allow hotalloc cache miss: the pipeline is built once per pattern and backend pair
 	f := newNEFactor(sv, sv.a, pc.syms, backend, workers)
 	f.cacheEntry = e
 	return f
@@ -206,6 +209,7 @@ func (pc *PatternCache) entry(gs, a *linalg.SparseMatrix, backend Factorization)
 		}
 	}
 	pc.mu.Unlock()
+	//bbvet:allow hotalloc first sighting of this pattern pair, measured cold
 	return pc.insert(h, gs, a, backend)
 }
 

@@ -338,6 +338,7 @@ func (st *state) factorSparse(f *kktFactor) (*kktFactor, error) {
 	h := ne.ata.Result
 	reg := st.opt.KKTReg * (1 + h.NormInf())
 	if st.pe == 0 {
+		//bbvet:allow hotalloc both Factorization backends are bbvet:hotpath-checked, only the dispatch is dynamic
 		if err := ne.chol.Factorize(h, reg, reg); err != nil {
 			return nil, err
 		}
@@ -345,6 +346,7 @@ func (st *state) factorSparse(f *kktFactor) (*kktFactor, error) {
 		return f, nil
 	}
 	ne.fillKKT(reg)
+	//bbvet:allow hotalloc both Factorization backends are bbvet:hotpath-checked, only the dispatch is dynamic
 	if err := ne.chol.FactorizeQuasiDef(ne.kkt, reg); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,136 @@
+// Package concdiscipline is a bbvet fixture: goroutines spawned while a
+// lock is held (directly or via a helper), loop-variable capture in
+// spawned closures, unbounded spawn loops, and process-killing goroutines
+// are flagged; unlocked spawns, argument passing, fixed-bound pools,
+// semaphore-gated loops, and error-returning workers are not.
+package concdiscipline
+
+import (
+	"log"
+	"os"
+	"sync"
+)
+
+var mu sync.Mutex
+var state int
+var sem = make(chan struct{}, 4)
+
+func work() { state++ }
+
+func spawnHelper() {
+	go work()
+}
+
+// --- rule 1: go under a held lock ---
+
+func underLock() {
+	mu.Lock()
+	go work() // want `go statement while mu is held`
+	mu.Unlock()
+}
+
+func underDeferredUnlock() {
+	mu.Lock()
+	defer mu.Unlock()
+	go work() // want `go statement while mu is held`
+}
+
+func viaHelperUnderLock() {
+	mu.Lock()
+	spawnHelper() // want `call to spawnHelper, which spawns a goroutine, while mu is held`
+	mu.Unlock()
+}
+
+func afterUnlock() {
+	mu.Lock()
+	state++
+	mu.Unlock()
+	go work() // lock released before the spawn: legal
+}
+
+func mayHoldOnSomePath(cond bool) {
+	mu.Lock()
+	if cond {
+		mu.Unlock()
+	}
+	go work() // want `go statement while mu is held`
+}
+
+// --- rule 2: loop-variable capture in a spawned closure ---
+
+func capturesLoopVar(items []int) {
+	for _, v := range items {
+		sem <- struct{}{}
+		go func() {
+			state = v // want `spawned closure captures loop variable v`
+			<-sem
+		}()
+	}
+}
+
+func passesLoopVar(items []int) {
+	for _, v := range items {
+		sem <- struct{}{}
+		go func(v int) {
+			state = v // parameter, not a capture: legal
+			<-sem
+		}(v)
+	}
+}
+
+// --- rule 3: unbounded spawn loops ---
+
+func handle(v int) { state = v }
+
+func spawnsPerItem(items []int) {
+	for _, v := range items {
+		go handle(v) // want `unbounded number of goroutines`
+	}
+}
+
+func fixedPool(workers int, jobs chan int) {
+	for w := 0; w < workers; w++ {
+		go drain(jobs) // fixed worker count: legal
+	}
+}
+
+func drain(jobs chan int) {
+	for j := range jobs {
+		state = j
+	}
+}
+
+func semaphorePool(items []int) {
+	for _, v := range items {
+		sem <- struct{}{}
+		go release(v) // semaphore acquired before the spawn: legal
+	}
+}
+
+func release(v int) {
+	state = v
+	<-sem
+}
+
+// --- rule 4: process-killing goroutines ---
+
+func fatalInline(err error) {
+	go func() {
+		if err != nil {
+			log.Fatal(err) // want `goroutine terminates the process via log.Fatal`
+		}
+	}()
+}
+
+func die(code int) {
+	os.Exit(code)
+}
+
+func fatalTransitive() {
+	go die(1) // want `goroutine can terminate the process via die \(os.Exit\)`
+}
+
+func allowedFatal() {
+	//bbvet:allow concdiscipline CLI helper, the process is wrapping up anyway
+	go die(0)
+}
