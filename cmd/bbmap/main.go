@@ -19,10 +19,10 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
 	"sort"
 
 	"repro/internal/binding"
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/mrate"
 	"repro/internal/taskgraph"
@@ -30,7 +30,7 @@ import (
 )
 
 func main() {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := cli.SignalContext()
 	code := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
 	stop()
 	os.Exit(code)
@@ -61,11 +61,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "bbmap:", err)
 		return 1
 	}
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
+	ctx, cancel := cli.WithTimeout(ctx, *timeout)
+	defer cancel()
 
 	if *bind != "" {
 		var br *binding.Result

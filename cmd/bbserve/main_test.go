@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/serve"
+)
+
+func TestRunFlagErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(context.Background(), []string{"-no-such-flag"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2 for a flag error", code)
+	}
+	if code := run(context.Background(), []string{"-addr", "definitely:not:an:addr"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1 for an unusable listen address", code)
+	}
+}
+
+// TestServeAndDrainLifecycle boots the daemon on an ephemeral port, solves
+// over real HTTP, then delivers the shutdown signal (a context cancel — the
+// same path SIGTERM takes) and checks the daemon drains cleanly with exit
+// code 0.
+func TestServeAndDrainLifecycle(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.New(serve.Config{Workers: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	var out, errOut bytes.Buffer
+	exit := make(chan int, 1)
+	go func() { exit <- serveAndDrain(ctx, ln, srv, time.Minute, &out, &errOut) }()
+
+	base := "http://" + ln.Addr().String()
+	cfg, err := json.Marshal(gen.Chain(gen.ChainOptions{Tasks: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := fmt.Sprintf(`{"config": %s}`, cfg)
+	resp, err := http.Post(base+"/v1/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("solve request: %v", err)
+	}
+	var solved struct {
+		Status  string          `json:"status"`
+		Mapping json.RawMessage `json:"mapping"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&solved); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || solved.Status != "optimal" {
+		t.Fatalf("solve: HTTP %d status %q", resp.StatusCode, solved.Status)
+	}
+
+	if resp, err = http.Get(base + "/readyz"); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz %d before shutdown", resp.StatusCode)
+	}
+
+	cancel() // the shutdown signal
+	if code := <-exit; code != 0 {
+		t.Fatalf("exit %d, want 0 after a clean drain; stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"draining", "drained cleanly"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("stdout %q missing %q", out.String(), want)
+		}
+	}
+}

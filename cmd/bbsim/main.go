@@ -20,9 +20,9 @@ import (
 	"io"
 	"math/rand"
 	"os"
-	"os/signal"
 	"sort"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/taskgraph"
@@ -30,7 +30,7 @@ import (
 )
 
 func main() {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := cli.SignalContext()
 	code := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
 	stop()
 	os.Exit(code)
@@ -62,11 +62,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
+	ctx, cancel := cli.WithTimeout(ctx, *timeout)
+	defer cancel()
 
 	var mapping *taskgraph.Mapping
 	if *mappingPath != "" {

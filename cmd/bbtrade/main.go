@@ -17,10 +17,10 @@ import (
 	"io"
 	"math/bits"
 	"os"
-	"os/signal"
 	"runtime"
 	"runtime/pprof"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/gen"
@@ -29,7 +29,7 @@ import (
 )
 
 func main() {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := cli.SignalContext()
 	code := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
 	stop()
 	os.Exit(code)
@@ -58,11 +58,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
+	ctx, cancel := cli.WithTimeout(ctx, *timeout)
+	defer cancel()
 	opt := core.Options{Parallelism: *parallel}
 	switch *factor {
 	case "auto", "":

@@ -20,6 +20,11 @@ var statusFuncs = map[string]bool{
 	"ParetoFrontier":    true,
 	"BuildProblem":      true,
 	"Verify":            true,
+	// bbserve entry points: a dropped Sweep loses per-point failures, and a
+	// dropped Drain hides that the drain bound expired and solves were
+	// force-canceled.
+	"Sweep": true,
+	"Drain": true,
 }
 
 // StatusCheck flags call sites that discard the Status or error results of

@@ -1,0 +1,37 @@
+// Package cli holds the command-line plumbing every bb* binary was
+// repeating by hand: a root context canceled by shutdown signals and the
+// -timeout bound layered on top of it. bbmap, bbsim, and bbtrade use it for
+// SIGINT + -timeout; bbserve additionally listens for SIGTERM, which is its
+// graceful-drain trigger.
+package cli
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"time"
+)
+
+// SignalContext returns a context canceled when any of the given signals
+// arrives (os.Interrupt when none are named) and the stop function that
+// releases the signal registration. After the first signal the registration
+// is kept, so a second signal falls through to the default handler and
+// kills a process that is slow to wind down — the conventional escape hatch
+// during a graceful drain.
+func SignalContext(signals ...os.Signal) (context.Context, context.CancelFunc) {
+	if len(signals) == 0 {
+		signals = []os.Signal{os.Interrupt}
+	}
+	return signal.NotifyContext(context.Background(), signals...)
+}
+
+// WithTimeout bounds ctx by d when d is positive and leaves it unbounded
+// otherwise, mirroring the bb* binaries' "-timeout 0 means no limit"
+// convention. The returned cancel function is non-nil in both cases and
+// must be called to release the context's resources.
+func WithTimeout(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return context.WithCancel(ctx)
+	}
+	return context.WithTimeout(ctx, d)
+}

@@ -1,0 +1,56 @@
+package cli
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestWithTimeoutUnbounded(t *testing.T) {
+	ctx, cancel := WithTimeout(context.Background(), 0)
+	defer cancel()
+	if _, ok := ctx.Deadline(); ok {
+		t.Fatalf("WithTimeout(0) set a deadline; want none")
+	}
+	if ctx.Err() != nil {
+		t.Fatalf("ctx.Err() = %v, want nil", ctx.Err())
+	}
+	cancel()
+	if ctx.Err() != context.Canceled {
+		t.Fatalf("ctx.Err() after cancel = %v, want Canceled", ctx.Err())
+	}
+}
+
+func TestWithTimeoutBounded(t *testing.T) {
+	ctx, cancel := WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	d, ok := ctx.Deadline()
+	if !ok {
+		t.Fatalf("WithTimeout(1h) set no deadline")
+	}
+	if until := time.Until(d); until <= 0 || until > time.Hour {
+		t.Fatalf("deadline %v from now, want within (0, 1h]", until)
+	}
+}
+
+func TestWithTimeoutInheritsCancellation(t *testing.T) {
+	parent, parentCancel := context.WithCancel(context.Background())
+	ctx, cancel := WithTimeout(parent, time.Hour)
+	defer cancel()
+	parentCancel()
+	<-ctx.Done()
+	if ctx.Err() != context.Canceled {
+		t.Fatalf("ctx.Err() = %v, want Canceled from parent", ctx.Err())
+	}
+}
+
+func TestSignalContextDefault(t *testing.T) {
+	ctx, stop := SignalContext()
+	defer stop()
+	if ctx.Err() != nil {
+		t.Fatalf("fresh signal context already done: %v", ctx.Err())
+	}
+	stop()
+	// After stop the context is released; a second stop must be safe.
+	stop()
+}

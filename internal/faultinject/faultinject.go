@@ -56,6 +56,18 @@ const (
 	// SiteIPMIteration fires at the top of every interior-point iteration,
 	// after the cancellation check (stall/panic sites for deadline tests).
 	SiteIPMIteration = "socp/ipm-iteration"
+	// SiteServeEnqueue fires in bbserve's admission path, synchronously in
+	// the request handler immediately after its job enters the bounded
+	// queue and before the handler starts waiting for the result. Stall
+	// rules on it are the rendezvous the serve tests use to hold accepted
+	// requests in the queue while filling it to the brim; error rules
+	// exercise the handler's injected-failure response.
+	SiteServeEnqueue = "serve/enqueue"
+	// SiteServeJob fires on a serve worker goroutine at the start of job
+	// execution, before the solver runs. Error rules exercise the injected
+	// internal-failure response, panic rules the per-job panic isolation,
+	// and stall rules park a worker mid-job for queue-full and drain tests.
+	SiteServeJob = "serve/job"
 )
 
 // SiteSweepJob returns the per-index fault site of a core.RunSweep job; the

@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/socp"
+)
+
+// Per-pattern circuit breaker over the recovery ladder. The ladder (PR 4)
+// rescues a numerically degenerate solve by escalating through backends —
+// but it pays for every failed rung first. When one graph topology is
+// degenerate, every request for it pays that tax: under the
+// shared-template workload, that is every request. The breaker remembers,
+// per structure hash, that a pattern keeps tripping the ladder and routes
+// subsequent requests straight to the rung that rescued it
+// (core.OptionsForBackend), restoring one-attempt latency. Periodic
+// half-open probes retry the full ladder so a transient degeneracy (bad
+// parameter regime a client has since tuned away) closes the breaker
+// again.
+//
+// All transitions are request-count-driven, never clock-driven, so every
+// breaker state is reachable deterministically in tests.
+
+// breakerMode labels how one request is routed.
+type breakerMode int
+
+const (
+	// modeNormal: breaker closed, full ladder from the caller's options.
+	modeNormal breakerMode = iota
+	// modeDegraded: breaker open, solve starts at the known-good rung.
+	modeDegraded
+	// modeProbe: breaker open, but this request runs the full ladder as a
+	// half-open probe; its outcome decides whether the breaker closes.
+	modeProbe
+)
+
+// String implements fmt.Stringer ("" for modeNormal: the response field is
+// omitted while the breaker is closed).
+func (m breakerMode) String() string {
+	switch m {
+	case modeDegraded:
+		return "open"
+	case modeProbe:
+		return "probe"
+	default:
+		return ""
+	}
+}
+
+// pattern is the per-structure-hash serving state: breaker plus counters.
+type pattern struct {
+	mu sync.Mutex
+
+	// consecutive counts back-to-back ladder recoveries while closed.
+	consecutive int
+	// open reports the breaker state; goodBackend is the rung that rescued
+	// the pattern last (always set while open).
+	open        bool
+	goodBackend string
+	// sinceProbe counts open-state requests since the last half-open probe.
+	sinceProbe int
+
+	// Lifetime counters for /debug/vars.
+	solves   int64
+	degraded int64
+	opens    int64
+}
+
+// plan routes the next request for this pattern and returns the backend to
+// force when the mode is modeDegraded. probeEvery is the open-state request
+// period between half-open probes.
+func (p *pattern) plan(probeEvery int) (breakerMode, string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.solves++
+	if !p.open {
+		return modeNormal, ""
+	}
+	p.sinceProbe++
+	if p.sinceProbe >= probeEvery {
+		p.sinceProbe = 0
+		return modeProbe, ""
+	}
+	p.degraded++
+	return modeDegraded, p.goodBackend
+}
+
+// record folds a finished solve's ladder report back into the breaker.
+// Only a report that actually recovered counts as a failure event: a
+// canceled solve says nothing about the pattern's numerics, an exhausted
+// ladder names no good rung to degrade to, and a clean first-attempt solve
+// is the success that resets the failure streak (or closes the breaker
+// after a successful probe). trip is the consecutive-recovery count that
+// opens the breaker.
+func (p *pattern) record(mode breakerMode, rep *core.SolveReport, trip int) {
+	if rep == nil || len(rep.Attempts) == 0 {
+		return
+	}
+	last := rep.Attempts[len(rep.Attempts)-1]
+	if last.Status == socp.StatusCanceled {
+		return // no numerical signal either way
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch {
+	case rep.Recovered:
+		p.goodBackend = rep.FinalBackend
+		switch mode {
+		case modeNormal:
+			p.consecutive++
+			if p.consecutive >= trip && !p.open {
+				p.open = true
+				p.sinceProbe = 0
+				p.opens++
+			}
+		case modeProbe:
+			// The probe still needed the ladder: stay open, but follow the
+			// rung that works now.
+		case modeDegraded:
+			// Even the known-good rung needed further recovery: follow it
+			// down.
+		}
+	case mode == modeProbe:
+		// Clean probe: the degeneracy cleared; close and forget the streak.
+		p.open = false
+		p.consecutive = 0
+	case mode == modeNormal:
+		p.consecutive = 0
+	}
+}
+
+// snapshot returns the counters for /debug/vars.
+func (p *pattern) snapshot() (open bool, solves, degraded, opens int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.open, p.solves, p.degraded, p.opens
+}
+
+// patternTable maps structure hashes to their serving state.
+type patternTable struct {
+	mu sync.Mutex
+	m  map[uint64]*pattern
+}
+
+func newPatternTable() *patternTable {
+	return &patternTable{m: map[uint64]*pattern{}}
+}
+
+// get returns the pattern state for a hash, creating it on first sight.
+func (t *patternTable) get(h uint64) *pattern {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p := t.m[h]
+	if p == nil {
+		p = &pattern{}
+		t.m[h] = p
+	}
+	return p
+}
+
+// snapshot aggregates the table for /debug/vars. The aggregation is
+// commutative, so map iteration order cannot leak into the result. Pattern
+// locks nest inside the table lock here; nothing acquires them in the other
+// order.
+func (t *patternTable) snapshot() (patterns, openNow int, opensTotal int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, p := range t.m {
+		open, _, _, opens := p.snapshot()
+		if open {
+			openNow++
+		}
+		opensTotal += opens
+	}
+	return len(t.m), openNow, opensTotal
+}

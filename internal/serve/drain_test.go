@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// TestDrainGraceful pins the happy shutdown: drain begins while a request
+// is mid-solve; readiness flips and new work is rejected immediately, the
+// in-flight request finishes normally, and Drain returns nil.
+func TestDrainGraceful(t *testing.T) {
+	s := New(Config{Workers: 1})
+	gate := make(chan struct{})
+	stalled := make(chan struct{})
+	defer faultinject.Activate(faultinject.Rule{
+		Site: faultinject.SiteServeJob, Kind: faultinject.KindStall,
+		Count: 1, Gate: gate, Stalled: stalled,
+	})()
+
+	body := SolveRequest{Config: testConfigJSON(t, 3)}
+	inflight := make(chan *httptest.ResponseRecorder, 1)
+	go func() { inflight <- do(s, nil, "POST", "/v1/solve", body) }()
+	<-stalled // the request is on a worker, parked
+
+	// Stop admissions synchronously, before Drain starts waiting.
+	s.BeginDrain()
+	if w := do(s, nil, "GET", "/readyz", nil); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz %d after BeginDrain, want 503", w.Code)
+	}
+	if w := do(s, nil, "POST", "/v1/solve", body); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("admission status %d after BeginDrain, want 503", w.Code)
+	} else if det := errorCode(t, w); det.Code != CodeDraining {
+		t.Fatalf("code %q, want %q", det.Code, CodeDraining)
+	}
+	if n := s.vars.drainRejects.Load(); n != 1 {
+		t.Fatalf("drainRejects %d, want 1", n)
+	}
+	// Health stays 200 throughout: the process is alive, just not admitting.
+	if w := do(s, nil, "GET", "/healthz", nil); w.Code != http.StatusOK {
+		t.Fatalf("healthz %d during drain, want 200", w.Code)
+	}
+
+	drained := make(chan error, 1)
+	go func() { drained <- s.Drain(context.Background()) }()
+
+	// Release the parked solve; it must complete as if no drain happened.
+	close(gate)
+	if res := <-inflight; res.Code != http.StatusOK {
+		t.Fatalf("in-flight request finished %d during graceful drain: %s", res.Code, res.Body)
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("graceful drain returned %v, want nil", err)
+	}
+}
+
+// TestDrainForceCancelsStragglers pins the impatient shutdown: when the
+// drain context expires, every in-flight job context is force-canceled, the
+// straggler surfaces a 504 to its client, and Drain still waits for it to
+// unwind before returning the context error. The "expiry" is a plain cancel
+// — no timers anywhere.
+func TestDrainForceCancelsStragglers(t *testing.T) {
+	s := New(Config{Workers: 1})
+	gate := make(chan struct{})
+	stalled := make(chan struct{})
+	defer faultinject.Activate(faultinject.Rule{
+		Site: faultinject.SiteServeJob, Kind: faultinject.KindStall,
+		Count: 1, Gate: gate, Stalled: stalled,
+	})()
+
+	inflight := make(chan *httptest.ResponseRecorder, 1)
+	go func() { inflight <- do(s, nil, "POST", "/v1/solve", SolveRequest{Config: testConfigJSON(t, 3)}) }()
+	<-stalled // the straggler is parked before its context check
+
+	drainCtx, expire := context.WithCancel(context.Background())
+	drained := make(chan error, 1)
+	go func() { drained <- s.Drain(drainCtx) }()
+
+	expire()            // the drain bound lapses
+	<-s.forceCtx.Done() // Drain has force-canceled the in-flight contexts
+	close(gate)         // release the straggler into its dead context
+
+	if res := <-inflight; res.Code != http.StatusGatewayTimeout {
+		t.Fatalf("straggler finished %d, want 504 from the forced cancel: %s", res.Code, res.Body)
+	} else if det := errorCode(t, res); det.Code != CodeDeadline {
+		t.Fatalf("straggler code %q, want %q", det.Code, CodeDeadline)
+	}
+	if err := <-drained; err != context.Canceled {
+		t.Fatalf("forced drain returned %v, want context.Canceled", err)
+	}
+}
+
+// TestDrainWithQueuedJobs checks that jobs still sitting in the queue when
+// drain begins are not dropped: the workers run them to completion before
+// Drain returns.
+func TestDrainWithQueuedJobs(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 2})
+	jobGate := make(chan struct{})
+	jobStalled := make(chan struct{})
+	enqGate := make(chan struct{})
+	enqSecond := make(chan struct{})
+	defer faultinject.Activate(
+		faultinject.Rule{
+			Site: faultinject.SiteServeJob, Kind: faultinject.KindStall,
+			Count: 1, Gate: jobGate, Stalled: jobStalled,
+		},
+		faultinject.Rule{
+			Site: faultinject.SiteServeEnqueue, Kind: faultinject.KindStall,
+			After: 1, Count: 1, Gate: enqGate, Stalled: enqSecond,
+		},
+	)()
+
+	body := SolveRequest{Config: testConfigJSON(t, 3)}
+	first := make(chan *httptest.ResponseRecorder, 1)
+	second := make(chan *httptest.ResponseRecorder, 1)
+	go func() { first <- do(s, nil, "POST", "/v1/solve", body) }()
+	<-jobStalled // request 1 parked on the only worker
+	go func() { second <- do(s, nil, "POST", "/v1/solve", body) }()
+	<-enqSecond // request 2 admitted and queued behind it
+
+	drained := make(chan error, 1)
+	go func() {
+		s.BeginDrain()
+		drained <- s.Drain(context.Background())
+	}()
+
+	close(jobGate)
+	close(enqGate)
+	if res := <-first; res.Code != http.StatusOK {
+		t.Fatalf("running request finished %d: %s", res.Code, res.Body)
+	}
+	if res := <-second; res.Code != http.StatusOK {
+		t.Fatalf("queued request finished %d: %s — drain dropped queued work", res.Code, res.Body)
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("drain returned %v, want nil", err)
+	}
+}

@@ -1,0 +1,225 @@
+// Package serve is the solver daemon behind cmd/bbserve: a fault-tolerant
+// HTTP/JSON front end over the budget/buffer solver in internal/core,
+// built for the workload the ROADMAP's north star describes — many clients
+// repeatedly solving same-topology instances under latency budgets.
+//
+// The robustness layer, in the order a request meets it:
+//
+//   - Admission control: a bounded worker pool behind a fixed-depth queue.
+//     Overload is shed at the door with 429 and a Retry-After derived from
+//     the moving p95 solve latency — never buffered unboundedly.
+//   - Deadlines: every request runs under a context derived from its
+//     deadline_ms field (or Request-Timeout header), clamped by the server
+//     maximum. Expiry surfaces as a structured 504 carrying the recovery
+//     ladder's report and any partial sweep results, through the same
+//     StatusCanceled plumbing the CLI tools use.
+//   - Failure isolation and degradation: panics are contained to the
+//     request that caused them; numerical breakdown runs the PR 4 recovery
+//     ladder, whose every attempt is reported in the response; and a
+//     per-pattern circuit breaker routes topologies that repeatedly
+//     needed recovery straight to the rung that rescued them until a
+//     half-open probe succeeds.
+//   - Graceful drain: SIGTERM flips /readyz to 503, stops admissions,
+//     lets in-flight solves finish up to a drain bound, then cancels
+//     stragglers through their contexts.
+//   - Shared-pattern fast path: all solves share one socp.PatternCache,
+//     and serving state is keyed by taskgraph.StructureHash, so
+//     identical-topology requests skip symbolic analysis and reuse pooled
+//     numeric workspaces.
+//
+// Every failure path is reachable deterministically through
+// internal/faultinject sites; nothing in the tests depends on timing.
+package serve
+
+import (
+	"context"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/socp"
+	"repro/internal/taskgraph"
+)
+
+// Config parameterizes a Server. The zero value selects sensible defaults
+// throughout.
+type Config struct {
+	// Workers bounds concurrently running solves; ≤ 0 selects GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds requests waiting beyond the running ones; ≤ 0
+	// selects 2×Workers. Admission control rejects beyond it.
+	QueueDepth int
+	// MaxDeadline clamps every request's deadline and applies when a
+	// request names none; ≤ 0 selects 60s.
+	MaxDeadline time.Duration
+	// MaxBodyBytes bounds request bodies; ≤ 0 selects 32 MiB.
+	MaxBodyBytes int64
+	// BreakerTrip is the consecutive-recovery count that opens a pattern's
+	// breaker; ≤ 0 selects 3.
+	BreakerTrip int
+	// BreakerProbeEvery is the open-state request period between half-open
+	// probes; ≤ 0 selects 16.
+	BreakerProbeEvery int
+	// LatencyWindow is the moving-latency sample count behind Retry-After
+	// and /debug/vars quantiles; ≤ 0 selects 256.
+	LatencyWindow int
+	// Solve is the base solver configuration applied to every request
+	// (factorization backend, tolerances, sweep parallelism). The pattern
+	// cache field is overridden by the server's shared cache.
+	Solve core.Options
+}
+
+// withDefaults resolves the zero values.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 60 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.BreakerTrip <= 0 {
+		c.BreakerTrip = 3
+	}
+	if c.BreakerProbeEvery <= 0 {
+		c.BreakerProbeEvery = 16
+	}
+	if c.LatencyWindow <= 0 {
+		c.LatencyWindow = 256
+	}
+	return c
+}
+
+// Server is the daemon state. Create with New; serve via Handler; shut
+// down via Drain.
+type Server struct {
+	cfg      Config
+	mux      *http.ServeMux
+	pool     *pool
+	cache    *socp.PatternCache
+	patterns *patternTable
+	lat      *latency
+	start    time.Time
+
+	// forceCtx is canceled to force-cancel every in-flight job context
+	// when a drain deadline expires.
+	forceCtx    context.Context
+	forceCancel context.CancelFunc
+
+	// notReady flips once drain begins; /readyz and admission key off it.
+	notReady atomic.Bool
+
+	vars counters
+}
+
+// counters are the /debug/vars tallies.
+type counters struct {
+	accepted     atomic.Int64 // admitted into the queue
+	shed         atomic.Int64 // 429 queue-full rejections
+	drainRejects atomic.Int64 // 503 rejections while draining
+	deadline     atomic.Int64 // 504 responses
+	panics       atomic.Int64 // isolated request panics
+	internal     atomic.Int64 // injected/internal 500s
+	solverErrors atomic.Int64 // ladder exhaustion / verification failures
+	badRequests  atomic.Int64 // 400s
+	optimal      atomic.Int64
+	infeasible   atomic.Int64
+	sweeps       atomic.Int64
+}
+
+// New builds a Server and starts its worker pool. The caller owns the
+// lifecycle: serve s.Handler() on any net/http server and call Drain to
+// shut down.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		pool:     newPool(cfg.Workers, cfg.QueueDepth),
+		cache:    socp.NewPatternCache(),
+		patterns: newPatternTable(),
+		lat:      newLatency(cfg.LatencyWindow),
+		start:    time.Now(),
+	}
+	s.forceCtx, s.forceCancel = context.WithCancel(context.Background())
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Ready reports whether the server is admitting work (false once drain
+// begins); /readyz renders it.
+func (s *Server) Ready() bool { return !s.notReady.Load() }
+
+// BeginDrain synchronously stops admissions and flips /readyz to 503
+// without waiting for in-flight work. Drain calls it; it is exported so a
+// signal handler can make the readiness flip atomic with the signal while
+// deciding the drain bound separately.
+func (s *Server) BeginDrain() {
+	s.notReady.Store(true)
+	s.pool.beginDrain()
+}
+
+// Drain gracefully shuts the server down: admissions stop, /readyz turns
+// 503, and every accepted request is allowed to finish. If ctx expires
+// first, the in-flight solves are canceled through their contexts (they
+// surface 504s to their clients) and Drain still waits for them to unwind
+// before returning ctx's error. A nil return means every request finished
+// on its own. Drain must be called at most once.
+func (s *Server) Drain(ctx context.Context) error {
+	s.notReady.Store(true)
+	return s.pool.drain(ctx, s.forceCancel)
+}
+
+// Solve runs one configuration through the pattern-keyed serving path:
+// the shared pattern cache, the per-pattern breaker, and the recovery
+// ladder. It is the programmatic equivalent of POST /v1/solve minus HTTP
+// and admission (the handler layers those); the returned mode reports how
+// the breaker routed the solve.
+func (s *Server) Solve(ctx context.Context, cfg *taskgraph.Config, skipVerification bool) (*core.Result, breakerMode, error) {
+	pat := s.patterns.get(cfg.StructureHash())
+	mode, backend := pat.plan(s.cfg.BreakerProbeEvery)
+	opt := s.cfg.Solve
+	opt.SkipVerification = opt.SkipVerification || skipVerification
+	opt.Solver.Cache = s.cache
+	if mode == modeDegraded {
+		if forced, ok := core.OptionsForBackend(opt.Solver, backend); ok {
+			opt.Solver = forced
+		}
+	}
+	res, err := core.Solve(ctx, cfg, opt)
+	if res != nil {
+		pat.record(mode, res.Report, s.cfg.BreakerTrip)
+	}
+	return res, mode, err
+}
+
+// Sweep runs a buffer-cap sweep through the shared pattern cache. Sweeps
+// bypass the breaker (each point already shares warm starts and pooled
+// pipelines; the ladder report of each point is returned per point), but
+// their pattern still shares cache entries with /v1/solve requests.
+func (s *Server) Sweep(ctx context.Context, cfg *taskgraph.Config, buffers []string, caps []int) ([]core.TradeoffPoint, error) {
+	opt := s.cfg.Solve
+	opt.Solver.Cache = s.cache
+	return core.SweepBufferCaps(ctx, cfg, buffers, caps, opt)
+}
+
+// observe records a completed solve's latency for Retry-After estimation.
+// Only definitive outcomes count: a canceled or shed request would drag
+// the p95 toward the deadline instead of the solve cost.
+func (s *Server) observe(d time.Duration) { s.lat.observe(d) }
+
+// retryAfter estimates the backoff advertised on shed requests.
+func (s *Server) retryAfter() int {
+	queued, running := s.pool.stats()
+	return retryAfterSec(s.lat.quantile(0.95), int(queued+running), s.cfg.Workers)
+}

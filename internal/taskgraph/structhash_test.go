@@ -1,0 +1,92 @@
+package taskgraph
+
+import "testing"
+
+func hashCfg() *Config {
+	return &Config{
+		Processors: []Processor{{Name: "p1", Replenishment: 10}, {Name: "p2", Replenishment: 12}},
+		Memories:   []Memory{{Name: "m1", Capacity: 64}},
+		Graphs: []*TaskGraph{{
+			Name:   "g",
+			Period: 10,
+			Tasks: []Task{
+				{Name: "a", Processor: "p1", WCET: 2},
+				{Name: "b", Processor: "p2", WCET: 3},
+			},
+			Buffers: []Buffer{{Name: "ab", From: "a", To: "b", Memory: "m1"}},
+		}},
+	}
+}
+
+func TestStructureHashIgnoresNumericValues(t *testing.T) {
+	base := hashCfg()
+	want := base.StructureHash()
+
+	tuned := hashCfg()
+	tuned.Graphs[0].Period = 20
+	tuned.Graphs[0].Tasks[0].WCET = 7
+	tuned.Graphs[0].Tasks[1].BudgetWeight = 3
+	tuned.Graphs[0].Buffers[0].SizeWeight = 2
+	tuned.Graphs[0].Buffers[0].ContainerSize = 9
+	tuned.Processors[0].Replenishment = 99
+	tuned.Processors[1].Overhead = 0.5
+	tuned.Memories[0].Capacity = 4096
+	tuned.Granularity = 0.25
+	if got := tuned.StructureHash(); got != want {
+		t.Fatalf("hash changed with numeric tuning: %#x != %#x", got, want)
+	}
+
+	// InitialTokens shifts constants in h, not the pattern — as long as the
+	// min-containers bound stays inactive.
+	tok := hashCfg()
+	tok.Graphs[0].Buffers[0].InitialTokens = 2
+	if got := tok.StructureHash(); got != want {
+		t.Fatalf("hash changed with initial tokens only: %#x != %#x", got, want)
+	}
+}
+
+func TestStructureHashSeesTopology(t *testing.T) {
+	want := hashCfg().StructureHash()
+	mutate := map[string]func(*Config){
+		"renamed task": func(c *Config) { c.Graphs[0].Tasks[0].Name = "a2" },
+		"rebound task": func(c *Config) { c.Graphs[0].Tasks[1].Processor = "p1" },
+		"extra buffer": func(c *Config) {
+			c.Graphs[0].Buffers = append(c.Graphs[0].Buffers,
+				Buffer{Name: "ba", From: "b", To: "a", Memory: "m1", InitialTokens: 1})
+		},
+		"capacity cap":    func(c *Config) { c.Graphs[0].Buffers[0].MaxContainers = 4 },
+		"forced minimum":  func(c *Config) { c.Graphs[0].Buffers[0].MinContainers = 2 },
+		"moved memory":    func(c *Config) { c.Graphs[0].Buffers[0].Memory = "m2" },
+		"multi-rate":      func(c *Config) { c.Graphs[0].Buffers[0].Prod = 2 },
+		"latency bound":   func(c *Config) { c.Graphs[0].Latencies = []LatencyConstraint{{From: "a", To: "b", Bound: 50}} },
+		"extra processor": func(c *Config) { c.Processors = append(c.Processors, Processor{Name: "p3", Replenishment: 5}) },
+	}
+	for name, fn := range mutate {
+		c := hashCfg()
+		fn(c)
+		if got := c.StructureHash(); got == want {
+			t.Errorf("%s: hash unchanged (%#x); topology edits must move it", name, got)
+		}
+	}
+}
+
+func TestStructureHashMinContainersBelowFillIsValueOnly(t *testing.T) {
+	// A minimum at or below the initial fill emits no constraint row, so it
+	// must not move the hash; raising it above the fill must.
+	base := hashCfg()
+	base.Graphs[0].Buffers[0].InitialTokens = 3
+	want := base.StructureHash()
+
+	inactive := hashCfg()
+	inactive.Graphs[0].Buffers[0].InitialTokens = 3
+	inactive.Graphs[0].Buffers[0].MinContainers = 2
+	if got := inactive.StructureHash(); got != want {
+		t.Fatalf("inactive minimum moved the hash: %#x != %#x", got, want)
+	}
+	active := hashCfg()
+	active.Graphs[0].Buffers[0].InitialTokens = 3
+	active.Graphs[0].Buffers[0].MinContainers = 5
+	if got := active.StructureHash(); got == want {
+		t.Fatalf("active minimum did not move the hash (%#x)", got)
+	}
+}

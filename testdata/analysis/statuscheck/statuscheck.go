@@ -37,6 +37,27 @@ func checked() error {
 	return err
 }
 
+// server mirrors the bbserve daemon's shape: Drain and Sweep report
+// failures (an expired drain bound, per-point sweep errors) only through
+// their results.
+type server struct{}
+
+func (server) Drain() error        { return nil }
+func (server) Sweep() (int, error) { return 0, nil }
+func (server) BeginDrain()         {}
+
+func serveEntryPoints() {
+	var s server
+	s.Drain()        // want `result of Drain dropped`
+	_, _ = s.Sweep() // want `Status/error result of Sweep assigned to _`
+	s.BeginDrain()   // no results to drop: legal
+	if err := s.Drain(); err != nil {
+		_ = err
+	}
+	pts, err := s.Sweep() // both results kept: legal
+	_, _ = pts, err
+}
+
 func unwatched() {
 	helper() // not a watched entry point: legal
 }
