@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -48,8 +49,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		breakerTrip  = fs.Int("breaker-trip", 3, "consecutive ladder recoveries that open a pattern's circuit breaker")
 		breakerProbe = fs.Int("breaker-probe", 16, "open-state requests between half-open breaker probes")
 		parallel     = fs.Int("parallel", 0, "per-sweep worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+		logLevel     = fs.String("log-level", "info", "request log level: debug, info, warn, error, or off")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	logger, err := requestLogger(stderr, *logLevel)
+	if err != nil {
+		fmt.Fprintln(stderr, "bbserve:", err)
 		return 2
 	}
 	srv := serve.New(serve.Config{
@@ -59,6 +66,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		BreakerTrip:       *breakerTrip,
 		BreakerProbeEvery: *breakerProbe,
 		Solve:             core.Options{Parallelism: *parallel},
+		Logger:            logger,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -67,6 +75,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "bbserve: listening on http://%s\n", ln.Addr())
 	return serveAndDrain(ctx, ln, srv, *drainTimeout, stdout, stderr)
+}
+
+// requestLogger builds the JSON request logger for -log-level; "off"
+// disables request logging entirely (the serve layer treats nil as off).
+func requestLogger(w io.Writer, level string) (*slog.Logger, error) {
+	if level == "off" {
+		return nil, nil
+	}
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: want debug, info, warn, error, or off", level)
+	}
+	return slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: lvl})), nil
 }
 
 // serveAndDrain serves srv on ln until ctx is canceled (the shutdown

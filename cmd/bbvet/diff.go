@@ -1,0 +1,204 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+)
+
+// A minimal unified-diff renderer for -diff mode. Output is the classic
+// format — ---/+++ headers, @@ hunks with three lines of context — and is
+// a pure function of the two inputs, so golden tests can compare it
+// byte-for-byte.
+
+// diffContext is the number of unchanged lines shown around each change.
+const diffContext = 3
+
+type diffOp struct {
+	kind byte // ' ' context, '-' delete, '+' insert
+	text string
+}
+
+// unifiedDiff renders the changes from a to b as a unified diff with the
+// given header names, or "" when the contents are identical.
+func unifiedDiff(aName, bName string, a, b []byte) string {
+	if string(a) == string(b) {
+		return ""
+	}
+	ops := diffLines(splitLines(a), splitLines(b))
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "--- %s\n+++ %s\n", aName, bName)
+	writeHunks(&sb, ops)
+	return sb.String()
+}
+
+// splitLines splits b into lines, each keeping its trailing newline; a
+// final line without one is kept as-is and rendered with the standard
+// "\ No newline at end of file" marker.
+func splitLines(b []byte) []string {
+	if len(b) == 0 {
+		return nil
+	}
+	var lines []string
+	s := string(b)
+	for len(s) > 0 {
+		i := strings.IndexByte(s, '\n')
+		if i < 0 {
+			lines = append(lines, s)
+			break
+		}
+		lines = append(lines, s[:i+1])
+		s = s[i+1:]
+	}
+	return lines
+}
+
+// diffLines computes a line-level edit script from a to b via a
+// longest-common-subsequence table, after trimming the common prefix and
+// suffix to keep the table small.
+func diffLines(a, b []string) []diffOp {
+	p := 0
+	for p < len(a) && p < len(b) && a[p] == b[p] {
+		p++
+	}
+	s := 0
+	for s < len(a)-p && s < len(b)-p && a[len(a)-1-s] == b[len(b)-1-s] {
+		s++
+	}
+	am, bm := a[p:len(a)-s], b[p:len(b)-s]
+	n, m := len(am), len(bm)
+	// lcs[i][j] is the LCS length of am[i:] and bm[j:].
+	lcs := make([][]int, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if am[i] == bm[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else {
+				lcs[i][j] = max(lcs[i+1][j], lcs[i][j+1])
+			}
+		}
+	}
+	ops := make([]diffOp, 0, len(a)+len(b))
+	for _, l := range a[:p] {
+		ops = append(ops, diffOp{' ', l})
+	}
+	i, j := 0, 0
+	for i < n || j < m {
+		switch {
+		case i < n && j < m && am[i] == bm[j]:
+			ops = append(ops, diffOp{' ', am[i]})
+			i++
+			j++
+		case i < n && (j == m || lcs[i+1][j] >= lcs[i][j+1]):
+			ops = append(ops, diffOp{'-', am[i]})
+			i++
+		default:
+			ops = append(ops, diffOp{'+', bm[j]})
+			j++
+		}
+	}
+	for _, l := range a[len(a)-s:] {
+		ops = append(ops, diffOp{' ', l})
+	}
+	return ops
+}
+
+// writeHunks groups the edit script into @@ hunks, merging changes whose
+// context regions touch, and writes them in unified format.
+func writeHunks(sb *strings.Builder, ops []diffOp) {
+	// Locate change runs by op index.
+	type run struct{ lo, hi int } // half-open op-index range including context
+	var runs []run
+	for i := 0; i < len(ops); i++ {
+		if ops[i].kind == ' ' {
+			continue
+		}
+		lo := max(0, i-diffContext)
+		hi := i
+		for hi < len(ops) {
+			if ops[hi].kind != ' ' {
+				hi++
+				continue
+			}
+			// Extend across a short context gap to the next change.
+			k := hi
+			for k < len(ops) && ops[k].kind == ' ' && k-hi < 2*diffContext {
+				k++
+			}
+			if k < len(ops) && ops[k].kind != ' ' {
+				hi = k
+				continue
+			}
+			break
+		}
+		tail := min(len(ops), hi+diffContext)
+		runs = append(runs, run{lo, tail})
+		i = tail
+	}
+	aLine, bLine := 1, 1
+	opIdx := 0
+	for _, r := range runs {
+		for opIdx < r.lo {
+			switch ops[opIdx].kind {
+			case ' ':
+				aLine++
+				bLine++
+			case '-':
+				aLine++
+			case '+':
+				bLine++
+			}
+			opIdx++
+		}
+		aCount, bCount := 0, 0
+		for k := r.lo; k < r.hi; k++ {
+			switch ops[k].kind {
+			case ' ':
+				aCount++
+				bCount++
+			case '-':
+				aCount++
+			case '+':
+				bCount++
+			}
+		}
+		fmt.Fprintf(sb, "@@ -%s +%s @@\n", hunkRange(aLine, aCount), hunkRange(bLine, bCount))
+		for k := r.lo; k < r.hi; k++ {
+			writeDiffLine(sb, ops[k])
+			switch ops[k].kind {
+			case ' ':
+				aLine++
+				bLine++
+			case '-':
+				aLine++
+			case '+':
+				bLine++
+			}
+		}
+		opIdx = r.hi
+	}
+}
+
+// hunkRange renders a hunk's start,count pair, with the unified-diff quirk
+// that a zero-length range points one line earlier.
+func hunkRange(start, count int) string {
+	if count == 1 {
+		return fmt.Sprintf("%d", start)
+	}
+	if count == 0 {
+		start--
+	}
+	return fmt.Sprintf("%d,%d", start, count)
+}
+
+// writeDiffLine writes one diff body line, emitting the no-final-newline
+// marker when the underlying line lacks its terminator.
+func writeDiffLine(sb *strings.Builder, op diffOp) {
+	sb.WriteByte(op.kind)
+	sb.WriteString(op.text)
+	if !strings.HasSuffix(op.text, "\n") {
+		sb.WriteString("\n\\ No newline at end of file\n")
+	}
+}

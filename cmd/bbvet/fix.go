@@ -1,0 +1,137 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/analysis"
+)
+
+// countFixable returns the number of diagnostics carrying suggested fixes.
+func countFixable(diags []analysis.Diagnostic) int {
+	n := 0
+	for _, d := range diags {
+		if d.Fixable() {
+			n++
+		}
+	}
+	return n
+}
+
+// runDiff renders every suggested fix as a unified diff against the
+// current file contents, without writing anything. Header paths are
+// relative to dir so the output is stable across checkouts. The exit code
+// is the -diff gate: 1 when any fixable diagnostics exist, 0 otherwise.
+func runDiff(stdout, stderr io.Writer, dir string, diags []analysis.Diagnostic) int {
+	res, err := analysis.ApplyFixes(diags)
+	if err != nil {
+		fmt.Fprintf(stderr, "bbvet: %v\n", err)
+		return 2
+	}
+	files := make([]string, 0, len(res.Files))
+	for f := range res.Files {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		orig, err := os.ReadFile(f)
+		if err != nil {
+			fmt.Fprintf(stderr, "bbvet: %v\n", err)
+			return 2
+		}
+		rel := f
+		if r, err := filepath.Rel(dir, f); err == nil && !filepath.IsAbs(r) {
+			rel = filepath.ToSlash(r)
+		}
+		fmt.Fprint(stdout, unifiedDiff("a/"+rel, "b/"+rel, orig, res.Files[f]))
+	}
+	if countFixable(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runFix applies every suggested fix atomically (temp file + rename, so a
+// crash never leaves a half-written source file), then re-runs the
+// analyzers over the patched tree to verify convergence. Remaining
+// diagnostics are printed; the exit code is 0 only when no fixable
+// diagnostics survive the rewrite.
+func runFix(stdout, stderr io.Writer, dir string, patterns []string, analyzers []*analysis.Analyzer, diags []analysis.Diagnostic) int {
+	res, err := analysis.ApplyFixes(diags)
+	if err != nil {
+		fmt.Fprintf(stderr, "bbvet: %v\n", err)
+		return 2
+	}
+	files := make([]string, 0, len(res.Files))
+	for f := range res.Files {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		if err := writeFileAtomic(f, res.Files[f]); err != nil {
+			fmt.Fprintf(stderr, "bbvet: %v\n", err)
+			return 2
+		}
+	}
+	fmt.Fprintf(stdout, "bbvet: applied %d fixes across %d files", res.Applied, len(files))
+	if res.Dropped > 0 {
+		fmt.Fprintf(stdout, " (%d conflicting fixes deferred; run -fix again)", res.Dropped)
+	}
+	fmt.Fprintln(stdout)
+	if len(files) == 0 && countFixable(diags) == 0 {
+		return 0
+	}
+	// Convergence check: the patched tree must be loadable and must not
+	// report the fixed findings again.
+	after, err := Check(dir, patterns, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "bbvet: re-run after fixes failed: %v\n", err)
+		return 2
+	}
+	after = dedupe(relativize(dir, after))
+	for _, d := range after {
+		fmt.Fprintln(stdout, d)
+	}
+	if n := countFixable(after); n > 0 {
+		fmt.Fprintf(stdout, "bbvet: %d fixable diagnostics remain after -fix\n", n)
+		return 1
+	}
+	return 0
+}
+
+// writeFileAtomic replaces path with data via a same-directory temp file
+// and rename, preserving the original file mode.
+func writeFileAtomic(path string, data []byte) error {
+	mode := fs.FileMode(0o644)
+	if st, err := os.Stat(path); err == nil {
+		mode = st.Mode().Perm()
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".bbvet-fix-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Chmod(mode); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,290 @@
+package main
+
+import (
+	"bytes"
+	"go/format"
+	"go/token"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// The fix-engine fixture module: one floatcmp violation, one dropped-status
+// violation (in a func returning error, so the assign-and-check rewrite
+// applies), one fixable leaked-keys maprange violation, and one maprange
+// finding with no mechanical remedy (key and value both used).
+const fixModGoMod = "module fixtest\n\ngo 1.24\n"
+
+const fixModMain = `package fixtest
+
+import "fmt"
+
+func approxEqual(a, b float64) bool {
+	return a == b
+}
+
+type Status int
+
+func Solve() (Status, error) { return 0, nil }
+
+func emit(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+func drops() error {
+	Solve()
+	return nil
+}
+`
+
+const fixModMaps = `package fixtest
+
+func leakedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`
+
+// The golden post-fix contents: math.Abs wrap with the math import added,
+// the dropped status rewritten to assign-and-check, the keys loop rewritten
+// to the sorted-keys idiom, and the unfixable emit loop untouched.
+const fixedMain = `package fixtest
+
+import "math"
+
+import "fmt"
+
+func approxEqual(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9
+}
+
+type Status int
+
+func Solve() (Status, error) { return 0, nil }
+
+func emit(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+func drops() error {
+	if _, err := Solve(); err != nil {
+		return err
+	}
+	return nil
+}
+`
+
+const fixedMaps = `package fixtest
+
+import (
+	"maps"
+	"slices"
+)
+
+func leakedKeys(m map[string]int) []string {
+	var out []string
+	for _, k := range slices.Sorted(maps.Keys(m)) {
+		out = append(out, k)
+	}
+	return out
+}
+`
+
+// writeFixModule materializes the pristine fixture module in a fresh dir.
+func writeFixModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"go.mod":     fixModGoMod,
+		"fixtest.go": fixModMain,
+		"maps.go":    fixModMaps,
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// checkModule runs the full analyzer suite over the module the way run()
+// does: check, relativize, dedupe.
+func checkModule(t *testing.T, dir string) []analysis.Diagnostic {
+	t.Helper()
+	diags, err := Check(dir, []string{"./..."}, analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dedupe(relativize(dir, diags))
+}
+
+func TestDiffRendersFixesWithoutTouchingTree(t *testing.T) {
+	dir := writeFixModule(t)
+	before := map[string][]byte{}
+	for _, name := range []string{"fixtest.go", "maps.go"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[name] = data
+	}
+
+	var out, errOut bytes.Buffer
+	if code := runDiff(&out, &errOut, dir, checkModule(t, dir)); code != 1 {
+		t.Fatalf("runDiff = %d, want 1 (fixable diagnostics exist): %s", code, errOut.String())
+	}
+	for _, want := range []string{
+		"--- a/fixtest.go",
+		"+++ b/fixtest.go",
+		"--- a/maps.go",
+		"+\treturn math.Abs(a-b) <= 1e-9",
+		"+\tif _, err := Solve(); err != nil {",
+		"+\tfor _, k := range slices.Sorted(maps.Keys(m)) {",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("diff output missing %q:\n%s", want, out.String())
+		}
+	}
+	// Dry run: the tree is untouched.
+	for name, data := range before {
+		after, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data, after) {
+			t.Errorf("-diff modified %s", name)
+		}
+	}
+}
+
+func TestFixAppliesConvergesAndMatchesGolden(t *testing.T) {
+	dir := writeFixModule(t)
+	var out, errOut bytes.Buffer
+	code := runFix(&out, &errOut, dir, []string{"./..."}, analysis.All(), checkModule(t, dir))
+	if code != 0 {
+		t.Fatalf("runFix = %d, want 0 (no fixable diagnostics survive):\n%s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "applied 3 fixes across 2 files") {
+		t.Errorf("unexpected -fix summary:\n%s", out.String())
+	}
+	// The unfixable finding is re-reported after the rewrite, not silently
+	// swallowed.
+	if !strings.Contains(out.String(), "maprange: map iteration order reaches fmt.Println output") {
+		t.Errorf("-fix output does not re-report the unfixable finding:\n%s", out.String())
+	}
+
+	for name, want := range map[string]string{"fixtest.go": fixedMain, "maps.go": fixedMaps} {
+		got, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != want {
+			t.Errorf("%s after -fix does not match golden:\n--- got ---\n%s--- want ---\n%s", name, got, want)
+		}
+		// gofmt fixed point: formatting the result changes nothing.
+		formatted, err := format.Source(got)
+		if err != nil {
+			t.Fatalf("%s after -fix does not parse: %v", name, err)
+		}
+		if !bytes.Equal(formatted, got) {
+			t.Errorf("%s after -fix is not gofmt-clean", name)
+		}
+	}
+
+	// Convergence: a second -fix pass finds nothing to do and exits 0.
+	out.Reset()
+	errOut.Reset()
+	if code := runFix(&out, &errOut, dir, []string{"./..."}, analysis.All(), checkModule(t, dir)); code != 0 {
+		t.Fatalf("second runFix = %d, want 0:\n%s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "applied 0 fixes across 0 files") {
+		t.Errorf("second -fix pass applied something:\n%s", out.String())
+	}
+}
+
+func TestFixIsDeterministicAcrossRuns(t *testing.T) {
+	read := func(dir string) map[string]string {
+		files := map[string]string{}
+		for _, name := range []string{"fixtest.go", "maps.go"} {
+			data, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			files[name] = string(data)
+		}
+		return files
+	}
+	var runs []map[string]string
+	for i := 0; i < 2; i++ {
+		dir := writeFixModule(t)
+		var out, errOut bytes.Buffer
+		if code := runFix(&out, &errOut, dir, []string{"./..."}, analysis.All(), checkModule(t, dir)); code != 0 {
+			t.Fatalf("run %d: runFix = %d:\n%s%s", i, code, out.String(), errOut.String())
+		}
+		runs = append(runs, read(dir))
+	}
+	if !reflect.DeepEqual(runs[0], runs[1]) {
+		t.Error("two -fix runs over identical trees produced different bytes")
+	}
+}
+
+func TestCheckCachedWarmRunMatchesCold(t *testing.T) {
+	dir := writeFixModule(t)
+	cacheDir := t.TempDir()
+	cold, err := CheckCached(dir, []string{"./..."}, analysis.All(), cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := CheckCached(dir, []string{"./..."}, analysis.All(), cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Errorf("cache round trip changed diagnostics:\ncold %v\nwarm %v", cold, warm)
+	}
+	if len(cold) == 0 {
+		t.Error("fixture module produced no diagnostics")
+	}
+}
+
+func TestDedupeCollapsesCrossAnalyzerDuplicates(t *testing.T) {
+	pos := func(file string, line, col int) analysis.Diagnostic {
+		return analysis.Diagnostic{
+			Pos:     token.Position{Filename: file, Line: line, Column: col},
+			Message: "same fact",
+		}
+	}
+	a := pos("x.go", 3, 5)
+	a.Analyzer = "zeta"
+	a.Fixes = []analysis.SuggestedFix{{Message: "mend"}}
+	b := pos("x.go", 3, 5)
+	b.Analyzer = "alpha"
+	c := pos("x.go", 9, 1)
+	c.Analyzer = "alpha"
+
+	got := dedupe([]analysis.Diagnostic{a, b, c})
+	if len(got) != 2 {
+		t.Fatalf("dedupe kept %d diagnostics, want 2: %v", len(got), got)
+	}
+	// Survivor is the alphabetically first analyzer, with the dropped
+	// duplicate's fixes backfilled; order stays positional.
+	if got[0].Analyzer != "alpha" || got[0].Pos.Line != 3 {
+		t.Errorf("wrong survivor: %+v", got[0])
+	}
+	if len(got[0].Fixes) != 1 || got[0].Fixes[0].Message != "mend" {
+		t.Errorf("fixes not backfilled from duplicate: %+v", got[0])
+	}
+	if got[1].Pos.Line != 9 {
+		t.Errorf("distinct diagnostic lost: %+v", got[1])
+	}
+}

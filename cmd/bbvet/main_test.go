@@ -16,6 +16,7 @@ func TestListAnalyzers(t *testing.T) {
 	for _, name := range []string{
 		"floatcmp", "maprange", "hotalloc", "statuscheck", "csralias",
 		"ctxflow", "leakcheck", "faultsite", "hotloop", "concdiscipline",
+		"httpdiscipline", "slogfield",
 	} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing analyzer %s:\n%s", name, out.String())

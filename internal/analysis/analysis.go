@@ -48,11 +48,19 @@ type Analyzer struct {
 }
 
 // A Diagnostic is one finding, attributed to the analyzer that produced it.
+// Fixes, when present, are mechanical remedies a driver may apply (see
+// fix.go); a diagnostic without fixes still names the manual remedy in its
+// message.
 type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	Fixes    []SuggestedFix
 }
+
+// Fixable reports whether the diagnostic carries at least one suggested
+// fix.
+func (d Diagnostic) Fixable() bool { return len(d.Fixes) > 0 }
 
 // String formats the diagnostic in the canonical file:line:col form.
 func (d Diagnostic) String() string {
@@ -90,6 +98,8 @@ func All() []*Analyzer {
 		FaultSite,
 		HotLoop,
 		ConcDiscipline,
+		HTTPDiscipline,
+		SlogField,
 	}
 }
 
@@ -271,11 +281,23 @@ func collectAllows(pkg *Package) *suppressions {
 					}
 				}
 				if !known {
-					s.malformed = append(s.malformed, Diagnostic{
+					d := Diagnostic{
 						Pos:      pos,
 						Analyzer: "bbvet",
 						Message:  "bbvet:allow names " + unknownAnalyzerText(name),
-					})
+					}
+					// A close misspelling earns a mechanical repair: the same
+					// Levenshtein machinery behind did-you-mean rewrites the
+					// directive's analyzer name in place.
+					if near := nearestName(name); near != "" {
+						if from, to, ok := directiveNameRange(pkg.Fset, c, name); ok {
+							d.Fixes = []SuggestedFix{{
+								Message: fmt.Sprintf("replace %q with %q", name, near),
+								Edits:   []TextEdit{editAt(pkg.Fset, from, to, near)},
+							}}
+						}
+					}
+					s.malformed = append(s.malformed, d)
 					continue
 				}
 				lines := s.byFileLine[pos.Filename]
@@ -373,6 +395,21 @@ func directiveExtent(extents []lineExtent, line int) (from, to int, ok bool) {
 		return 0, 0, false
 	}
 	return extents[best].from, extents[best].to, true
+}
+
+// directiveNameRange locates the analyzer-name token of an allow directive
+// inside its comment, as a source position range suitable for a TextEdit.
+func directiveNameRange(fset *token.FileSet, c *ast.Comment, name string) (from, to token.Pos, ok bool) {
+	pi := strings.Index(c.Text, allowPrefix)
+	if pi < 0 {
+		return 0, 0, false
+	}
+	ni := strings.Index(c.Text[pi:], name)
+	if ni < 0 {
+		return 0, 0, false
+	}
+	start := c.Pos() + token.Pos(pi+ni)
+	return start, start + token.Pos(len(name)), true
 }
 
 // directiveText extracts the payload after bbvet:allow from a comment, in

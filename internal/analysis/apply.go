@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"fmt"
+	"go/format"
+	"os"
+	"sort"
+)
+
+// This file applies suggested fixes to source bytes. The driver (cmd/bbvet
+// -fix and -diff) decides what to do with the result — write atomically or
+// render diffs — while the selection and splicing rules live here so they
+// can be tested at the library level and shared by future drivers.
+
+// A FixResult is the outcome of applying every applicable fix of a
+// diagnostic batch.
+type FixResult struct {
+	// Files maps each modified file to its new, gofmt-formatted contents.
+	Files map[string][]byte
+	// Applied counts fixes whose edits were accepted (fixes that were pure
+	// duplicates of already-accepted edits are not counted).
+	Applied int
+	// Dropped counts fixes rejected because an edit overlapped an
+	// already-accepted one; a second -fix run picks them up after the first
+	// round's edits land.
+	Dropped int
+}
+
+// ApplyFixes selects a maximal non-conflicting set of suggested fixes from
+// the diagnostics — greedily, in diagnostic order, so the choice is
+// deterministic — splices their edits, and formats each patched file with
+// gofmt. A fix is all-or-nothing: if any of its edits overlaps an
+// already-accepted edit the whole fix is dropped. Identical edits from
+// different fixes (several diagnostics proposing the same import insertion
+// or the same loop-header rewrite) deduplicate instead of conflicting.
+func ApplyFixes(diags []Diagnostic) (*FixResult, error) {
+	res := &FixResult{Files: make(map[string][]byte)}
+	accepted := make(map[string][]TextEdit)
+	var touched []string
+	for _, d := range diags {
+		for _, fix := range d.Fixes {
+			if fixConflicts(accepted, fix.Edits) {
+				res.Dropped++
+				continue
+			}
+			fresh := 0
+			for _, e := range fix.Edits {
+				if containsEdit(accepted[e.File], e) {
+					continue
+				}
+				if len(accepted[e.File]) == 0 {
+					touched = append(touched, e.File)
+				}
+				accepted[e.File] = append(accepted[e.File], e)
+				fresh++
+			}
+			if fresh > 0 {
+				res.Applied++
+			}
+		}
+	}
+	sort.Strings(touched)
+	for _, file := range touched {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		patched, err := spliceEdits(src, accepted[file])
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", file, err)
+		}
+		formatted, err := format.Source(patched)
+		if err != nil {
+			return nil, fmt.Errorf("fixes for %s produced unparsable code: %v", file, err)
+		}
+		res.Files[file] = formatted
+	}
+	return res, nil
+}
+
+// fixConflicts reports whether any edit of a candidate fix overlaps an
+// already-accepted edit in the same file.
+func fixConflicts(accepted map[string][]TextEdit, edits []TextEdit) bool {
+	for _, e := range edits {
+		for _, a := range accepted[e.File] {
+			if editsConflict(a, e) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// editsConflict decides whether two edits in the same file can coexist.
+// Identical edits deduplicate; two insertions never conflict (same-point
+// insertions are spliced in a deterministic order); otherwise edits
+// conflict when their ranges overlap, with an insertion point strictly
+// inside a replaced range counting as overlap.
+func editsConflict(a, b TextEdit) bool {
+	if a == b {
+		return false
+	}
+	aIns, bIns := a.Start == a.End, b.Start == b.End
+	switch {
+	case aIns && bIns:
+		return false
+	case aIns:
+		return b.Start < a.Start && a.Start < b.End
+	case bIns:
+		return a.Start < b.Start && b.Start < a.End
+	default:
+		return a.Start < b.End && b.Start < a.End
+	}
+}
+
+// containsEdit reports whether the slice already holds an identical edit.
+func containsEdit(edits []TextEdit, e TextEdit) bool {
+	for _, a := range edits {
+		if a == e {
+			return true
+		}
+	}
+	return false
+}
+
+// spliceEdits applies the edits to src. Edits are spliced back-to-front so
+// earlier offsets stay valid; the order is fully deterministic (descending
+// Start, then descending End, then descending NewText for same-point
+// insertions, which therefore land in ascending NewText order in the
+// output).
+func spliceEdits(src []byte, edits []TextEdit) ([]byte, error) {
+	sorted := make([]TextEdit, len(edits))
+	copy(sorted, edits)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.Start != b.Start {
+			return a.Start > b.Start
+		}
+		if a.End != b.End {
+			return a.End > b.End
+		}
+		return a.NewText > b.NewText
+	})
+	out := src
+	for _, e := range sorted {
+		if e.Start < 0 || e.End < e.Start || e.End > len(src) {
+			return nil, fmt.Errorf("edit range [%d,%d) out of bounds (file is %d bytes)", e.Start, e.End, len(src))
+		}
+		var buf []byte
+		buf = append(buf, out[:e.Start]...)
+		buf = append(buf, e.NewText...)
+		buf = append(buf, out[e.End:]...)
+		out = buf
+	}
+	return out, nil
+}

@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// writeCacheModule lays out a small module with a linear dependency chain
+// plus one independent package:
+//
+//	a   (leaf)
+//	b   imports a
+//	c   imports b
+//	d   (independent)
+func writeCacheModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module cachetest\n\ngo 1.24\n")
+	write("a/a.go", "package a\n\nfunc A() int { return 1 }\n")
+	write("b/b.go", "package b\n\nimport \"cachetest/a\"\n\nfunc B() int { return a.A() + 1 }\n")
+	write("c/c.go", "package c\n\nimport \"cachetest/b\"\n\nfunc C() int { return b.B() + 1 }\n")
+	write("d/d.go", "package d\n\nfunc D() int { return 4 }\n")
+	return root
+}
+
+func cacheKeys(t *testing.T, root string) map[string]string {
+	t.Helper()
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := NewCache(t.TempDir(), loader, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := map[string]string{}
+	for _, pkg := range []string{"a", "b", "c", "d"} {
+		key, err := cache.Key(filepath.Join(root, pkg))
+		if err != nil {
+			t.Fatalf("Key(%s): %v", pkg, err)
+		}
+		keys[pkg] = key
+	}
+	return keys
+}
+
+// TestCacheInvalidatesReverseDependencyClosure edits the leaf package and
+// checks that exactly its reverse-dependency closure — itself and every
+// package that transitively imports it — changes key, while the unrelated
+// package keeps its key (and therefore its cache entry).
+func TestCacheInvalidatesReverseDependencyClosure(t *testing.T) {
+	root := writeCacheModule(t)
+	before := cacheKeys(t, root)
+
+	leaf := filepath.Join(root, "a", "a.go")
+	if err := os.WriteFile(leaf, []byte("package a\n\nfunc A() int { return 2 }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	after := cacheKeys(t, root)
+
+	for _, pkg := range []string{"a", "b", "c"} {
+		if before[pkg] == after[pkg] {
+			t.Errorf("package %s: key unchanged after editing leaf dependency a", pkg)
+		}
+	}
+	if before["d"] != after["d"] {
+		t.Errorf("package d: key changed although it does not depend on a (before %s, after %s)", before["d"], after["d"])
+	}
+}
+
+// TestCacheKeyChangesWithAnalyzerSet ensures runs with different analyzer
+// subsets never share entries.
+func TestCacheKeyChangesWithAnalyzerSet(t *testing.T) {
+	root := writeCacheModule(t)
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := NewCache(t.TempDir(), loader, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	subset, err := NewCache(t.TempDir(), loader, []*Analyzer{FloatCmp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "a")
+	fullKey, err := full.Key(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subsetKey, err := subset.Key(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fullKey == subsetKey {
+		t.Fatalf("full-suite and subset runs share cache key %s", fullKey)
+	}
+}
+
+// TestCacheRoundTrip persists diagnostics — fixes included — and reads
+// them back, checking that absolute paths survive the module-relative
+// storage encoding and that the hit/miss counters move.
+func TestCacheRoundTrip(t *testing.T) {
+	root := writeCacheModule(t)
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := NewCache(t.TempDir(), loader, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	file := filepath.Join(root, "a", "a.go")
+	diags := []Diagnostic{{
+		Pos:      token.Position{Filename: file, Offset: 12, Line: 3, Column: 6},
+		Analyzer: "floatcmp",
+		Message:  "synthetic finding",
+		Fixes: []SuggestedFix{{
+			Message: "synthetic fix",
+			Edits:   []TextEdit{{File: file, Start: 12, End: 14, NewText: "xx"}},
+		}},
+	}}
+
+	if _, ok := cache.Get("feedfacefeedface"); ok {
+		t.Fatal("Get on an empty cache reported a hit")
+	}
+	if cache.Misses != 1 {
+		t.Fatalf("Misses = %d, want 1", cache.Misses)
+	}
+	if err := cache.Put("feedfacefeedface", diags); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := cache.Get("feedfacefeedface")
+	if !ok {
+		t.Fatal("Get after Put missed")
+	}
+	if cache.Hits != 1 {
+		t.Fatalf("Hits = %d, want 1", cache.Hits)
+	}
+	if !reflect.DeepEqual(got, diags) {
+		t.Fatalf("round-trip mismatch:\n got %+v\nwant %+v", got, diags)
+	}
+}

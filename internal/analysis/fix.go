@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// This file is the suggested-fix half of the diagnostic surface. A
+// diagnostic may carry one or more SuggestedFixes: a human-readable label
+// plus textual edits precise enough for a driver to apply mechanically.
+// Only analyzers whose remedy is genuinely mechanical emit fixes —
+// floatcmp (tolerance comparison), maprange (sorted-keys loop),
+// statuscheck (assign-and-check), and the bbvet:allow directive scanner
+// (typo repair via the same Levenshtein machinery that powers
+// did-you-mean). cmd/bbvet's -fix mode applies non-overlapping edits
+// atomically and re-runs the analyzers to verify convergence; -diff
+// renders them as unified diffs without writing.
+
+// A TextEdit replaces the half-open byte range [Start, End) of File with
+// NewText. Offsets are file offsets (token.Position.Offset), so a driver
+// can apply edits without a FileSet; Start == End inserts.
+type TextEdit struct {
+	File  string `json:"file"`
+	Start int    `json:"start"`
+	End   int    `json:"end"`
+	// NewText is the replacement text. It need not be pretty: the applier
+	// runs the whole file through gofmt after splicing, so edits only have
+	// to be syntactically correct.
+	NewText string `json:"newText"`
+}
+
+// A SuggestedFix is one mechanical remedy for a diagnostic. All of its
+// edits are applied together or not at all (a fix whose edit conflicts
+// with an already-accepted one is dropped whole).
+type SuggestedFix struct {
+	Message string     `json:"message"`
+	Edits   []TextEdit `json:"edits"`
+}
+
+// Edit builds a TextEdit replacing the source range [from, to) with text,
+// resolving positions through the package's FileSet.
+func (p *Pass) Edit(from, to token.Pos, text string) TextEdit {
+	return editAt(p.Pkg.Fset, from, to, text)
+}
+
+// editAt is Edit for callers that hold a FileSet but no Pass (the
+// directive scanner).
+func editAt(fset *token.FileSet, from, to token.Pos, text string) TextEdit {
+	f := fset.Position(from)
+	t := fset.Position(to)
+	return TextEdit{File: f.Filename, Start: f.Offset, End: t.Offset, NewText: text}
+}
+
+// ReportfFix records a finding that carries a mechanical remedy.
+func (p *Pass) ReportfFix(pos token.Pos, fix SuggestedFix, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Fixes:    []SuggestedFix{fix},
+	})
+}
+
+// exprText renders an expression exactly as the printer would, for
+// splicing into replacement text. The rendering is a pure function of the
+// AST, so fixes are bit-identical across runs.
+func exprText(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return ""
+	}
+	return buf.String()
+}
+
+// importsPackage reports whether the file already imports path.
+func importsPackage(f *ast.File, path string) bool {
+	for _, imp := range f.Imports {
+		if strings.Trim(imp.Path.Value, `"`) == path {
+			return true
+		}
+	}
+	return false
+}
+
+// importEdit builds the insertion that adds the missing packages of paths
+// to the file's imports, or a zero TextEdit when nothing is missing. The
+// insertion goes directly after the package clause as a standalone import
+// declaration — gofmt keeps separate import declarations separate, so the
+// result is format-stable. Identical insertions from several fixes in the
+// same file deduplicate in the applier.
+func importEdit(fset *token.FileSet, f *ast.File, paths ...string) (TextEdit, bool) {
+	var missing []string
+	for _, p := range paths {
+		if !importsPackage(f, p) {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) == 0 {
+		return TextEdit{}, false
+	}
+	sort.Strings(missing)
+	var b strings.Builder
+	b.WriteString("\n")
+	if len(missing) == 1 {
+		fmt.Fprintf(&b, "\nimport %q", missing[0])
+	} else {
+		b.WriteString("\nimport (")
+		for _, p := range missing {
+			fmt.Fprintf(&b, "\n\t%q", p)
+		}
+		b.WriteString("\n)")
+	}
+	return editAt(fset, f.Name.End(), f.Name.End(), b.String()), true
+}
+
+// enclosingFile finds the file of the package containing pos.
+func enclosingFile(pkg *Package, pos token.Pos) *ast.File {
+	for _, f := range pkg.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	for _, f := range pkg.TestFiles {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}

@@ -118,6 +118,9 @@ func TestHotLoopFixture(t *testing.T)     { runFixture(t, HotLoop, "hotloop") }
 
 func TestConcDisciplineFixture(t *testing.T) { runFixture(t, ConcDiscipline, "concdiscipline") }
 
+func TestHTTPDisciplineFixture(t *testing.T) { runFixture(t, HTTPDiscipline, "httpdiscipline") }
+func TestSlogFieldFixture(t *testing.T)      { runFixture(t, SlogField, "slogfield") }
+
 // TestFixturesAreExercised guards against a silently skipped fixture: every
 // fixture package must produce at least one positive and contain at least
 // one suppression directive, so both directions of each analyzer stay

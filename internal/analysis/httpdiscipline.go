@@ -1,0 +1,446 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+)
+
+// HTTPDiscipline enforces the response-writing discipline of the serve
+// layer on every function that touches an http.ResponseWriter:
+//
+//   - the response status must be committed at most once: a WriteHeader
+//     (or an http.Error-class helper, which commits and writes) reachable
+//     after an earlier commit or body write is reported — net/http drops
+//     the second status and logs "superfluous WriteHeader" at runtime,
+//     where this check catches it at vet time;
+//   - no body bytes may follow a completed http.Error/NotFound/Redirect
+//     response — the classic missing-return-on-the-error-path bug, which
+//     appends payload junk to an error response;
+//   - a json.NewEncoder(w).Encode result must be checked on the response
+//     path: a dropped encode error leaves the client with a truncated
+//     body and the server none the wiser.
+//
+// The check is CFG-powered: commits in mutually exclusive branches are
+// legal, and only events that can actually precede one another on some
+// path are paired. It sees through intra-module helpers via the summary
+// layer's must-write/must-commit facts — calling a helper that commits on
+// every path counts as a commit at the call site, while a helper that
+// merely may write (an admission guard that writes only on rejection)
+// contributes nothing, so the guard-then-write handler shape stays clean.
+var HTTPDiscipline = &Analyzer{
+	Name: "httpdiscipline",
+	Doc:  "flags double WriteHeader, body writes after a completed error response, and dropped response-path JSON encode errors",
+	Run:  runHTTPDiscipline,
+}
+
+// httpEventKind classifies what a statement does to the response stream.
+type httpEventKind int
+
+const (
+	httpNone     httpEventKind = iota
+	httpCommit                 // sets the status line (WriteHeader)
+	httpWrite                  // writes body bytes (implicitly commits 200 if first)
+	httpTerminal               // commits and writes a complete response (http.Error class)
+)
+
+// httpEvent is one response-stream event located in a function body.
+type httpEvent struct {
+	kind httpEventKind
+	pos  token.Pos
+	what string // display name for pairing diagnostics
+	call *ast.CallExpr
+}
+
+func runHTTPDiscipline(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkHTTPBody(pass, fn.Body)
+		}
+	}
+}
+
+// checkHTTPBody analyzes one function body (function literals nested in it
+// are their own control flows and are analyzed separately).
+func checkHTTPBody(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	writers := responseWriters(info, body)
+	if len(writers) > 0 {
+		ip := pass.Pkg.Interp()
+		// Outside the summary fixpoint it is safe (and necessary) to demand
+		// full summaries for helper callees.
+		summaryOf := func(f *types.Func) *Summary { return ip.SummaryOf(f) }
+		if ip == nil {
+			summaryOf = func(*types.Func) *Summary { return nil }
+		}
+		events := collectHTTPEvents(ip, summaryOf, info, body, func(e ast.Expr) bool {
+			id, ok := ast.Unparen(e).(*ast.Ident)
+			if !ok {
+				return false
+			}
+			obj := info.Uses[id]
+			if obj == nil {
+				obj = info.Defs[id]
+			}
+			return obj != nil && writers[obj]
+		})
+		reportHTTPEvents(pass, body, events)
+		checkDroppedEncode(pass, info, body, writers)
+	}
+	// Nested literals: each gets its own pass with its own writer set.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != nil {
+			checkHTTPBody(pass, lit.Body)
+			return false
+		}
+		return true
+	})
+}
+
+// responseWriters collects every object of interface type
+// net/http.ResponseWriter referenced in the body — parameters and locals
+// alike, so simple aliases track without flow analysis. All of them are
+// treated as one response stream: a handler holds one writer, however it
+// is spelled.
+func responseWriters(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	writers := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			obj = info.Defs[id]
+		}
+		if obj != nil && isResponseWriter(obj.Type()) {
+			writers[obj] = true
+		}
+		return true
+	})
+	return writers
+}
+
+// isResponseWriter reports whether t is the net/http.ResponseWriter
+// interface.
+func isResponseWriter(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "ResponseWriter"
+}
+
+// collectHTTPEvents walks the body (nested literals excluded) and
+// classifies every call that touches a tracked writer. summaryOf resolves
+// helper callees: the analyzer passes full SummaryOf, while the summary
+// fixpoint passes a partial-table lookup so event collection never starts
+// a nested SCC walk mid-fixpoint.
+func collectHTTPEvents(ip *Interp, summaryOf func(*types.Func) *Summary, info *types.Info, body *ast.BlockStmt, isW func(ast.Expr) bool) []httpEvent {
+	var events []httpEvent
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if kind, what := classifyHTTPCall(ip, summaryOf, info, call, isW); kind != httpNone {
+			events = append(events, httpEvent{kind: kind, pos: call.Lparen, what: what, call: call})
+		}
+		return true
+	})
+	return events
+}
+
+// classifyHTTPCall decides whether one call is a response-stream event.
+// The stdlib surface is an explicit list — no guessing about unlisted
+// functions — and intra-module helpers contribute through their summary's
+// must-facts.
+func classifyHTTPCall(ip *Interp, summaryOf func(*types.Func) *Summary, info *types.Info, call *ast.CallExpr, isW func(ast.Expr) bool) (httpEventKind, string) {
+	// Method calls on the writer itself.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && isW(sel.X) {
+		switch sel.Sel.Name {
+		case "WriteHeader":
+			return httpCommit, "WriteHeader"
+		case "Write":
+			return httpWrite, "Write"
+		}
+	}
+	// json.NewEncoder(w).Encode(v): a body write through an encoder built
+	// on the writer.
+	if _, ok := encoderOnWriter(info, call, isW); ok {
+		return httpWrite, "json.NewEncoder(w).Encode"
+	}
+	// Stdlib helpers that take the writer as an argument.
+	if name, kind, ok := stdHTTPHelper(info, call); ok {
+		argIdx := 0 // every listed helper takes the writer first
+		if len(call.Args) > argIdx && isW(call.Args[argIdx]) {
+			return kind, name
+		}
+		return httpNone, ""
+	}
+	// Intra-module helpers: must-facts from the summary layer.
+	if ip != nil {
+		t := ResolveCall(info, call)
+		if t.Static != nil && ip.intraModule(t.Static) {
+			if cs := summaryOf(t.Static); cs != nil {
+				for i, arg := range call.Args {
+					if !isW(arg) {
+						continue
+					}
+					bit := paramBit(t.Static, i)
+					commit := cs.HTTPMustCommit&bit != 0
+					write := cs.HTTPMustWrite&bit != 0
+					name := "call to " + ip.displayName(t.Static)
+					switch {
+					case commit && write:
+						return httpTerminal, name
+					case commit:
+						return httpCommit, name
+					case write:
+						return httpWrite, name
+					}
+				}
+			}
+		}
+	}
+	return httpNone, ""
+}
+
+// encoderOnWriter matches json.NewEncoder(w).Encode(v) for a tracked w and
+// returns the Encode call.
+func encoderOnWriter(info *types.Info, call *ast.CallExpr, isW func(ast.Expr) bool) (*ast.CallExpr, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Encode" {
+		return nil, false
+	}
+	inner, ok := ast.Unparen(sel.X).(*ast.CallExpr)
+	if !ok || len(inner.Args) == 0 || !isW(inner.Args[0]) {
+		return nil, false
+	}
+	t := ResolveCall(info, inner)
+	if t.Static == nil || t.Static.Pkg() == nil {
+		return nil, false
+	}
+	if t.Static.Pkg().Path() != "encoding/json" || t.Static.Name() != "NewEncoder" {
+		return nil, false
+	}
+	return call, true
+}
+
+// stdHTTPHelper classifies the explicit stdlib list of writer-first
+// response helpers.
+func stdHTTPHelper(info *types.Info, call *ast.CallExpr) (string, httpEventKind, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", httpNone, false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", httpNone, false
+	}
+	pn, ok := info.Uses[pkg].(*types.PkgName)
+	if !ok {
+		return "", httpNone, false
+	}
+	name := sel.Sel.Name
+	switch pn.Imported().Path() {
+	case "net/http":
+		switch name {
+		case "Error", "NotFound", "Redirect", "ServeFile", "ServeContent":
+			return "http." + name, httpTerminal, true
+		}
+	case "fmt":
+		switch name {
+		case "Fprint", "Fprintf", "Fprintln":
+			return "fmt." + name, httpWrite, true
+		}
+	case "io":
+		switch name {
+		case "WriteString", "Copy":
+			return "io." + name, httpWrite, true
+		}
+	}
+	return "", httpNone, false
+}
+
+// reportHTTPEvents pairs the collected events over the body's CFG and
+// reports the illegal orderings: any event before a commit, and a body
+// write after a terminal (complete) response. A body write after a plain
+// WriteHeader is the normal status-then-body order and stays silent.
+func reportHTTPEvents(pass *Pass, body *ast.BlockStmt, events []httpEvent) {
+	if len(events) < 2 {
+		return
+	}
+	g := BuildCFG(body)
+	blocks := make([]*Block, len(events))
+	for i, e := range events {
+		blocks[i] = g.BlockOf(e.call)
+	}
+	precedes := func(a, b int) bool {
+		if blocks[a] == nil || blocks[b] == nil {
+			return false
+		}
+		if blocks[a] == blocks[b] {
+			return events[a].pos < events[b].pos
+		}
+		return g.Reaches(blocks[a], blocks[b], nil)
+	}
+	eventLine := func(i int) (string, int) {
+		p := pass.Pkg.Fset.Position(events[i].pos)
+		return filepath.Base(p.Filename), p.Line
+	}
+	for i, e := range events {
+		switch e.kind {
+		case httpCommit, httpTerminal:
+			for j, prior := range events {
+				if j == i || !precedes(j, i) {
+					continue
+				}
+				file, line := eventLine(j)
+				pass.Reportf(e.pos, "%s commits the response status after %s already %s it (%s:%d); net/http drops the second status",
+					e.what, prior.what, commitVerb(prior.kind), file, line)
+				break
+			}
+		case httpWrite:
+			for j, prior := range events {
+				if j == i || prior.kind != httpTerminal || !precedes(j, i) {
+					continue
+				}
+				file, line := eventLine(j)
+				pass.Reportf(e.pos, "%s writes body bytes after %s completed the response (%s:%d); missing return on the error path?",
+					e.what, prior.what, file, line)
+				break
+			}
+		}
+	}
+}
+
+// commitVerb phrases how the earlier event claimed the status line.
+func commitVerb(k httpEventKind) string {
+	if k == httpWrite {
+		return "implicitly committed"
+	}
+	return "committed"
+}
+
+// checkDroppedEncode flags json.NewEncoder(w).Encode(v) calls whose error
+// result is discarded — a bare expression statement or an all-blank
+// assignment.
+func checkDroppedEncode(pass *Pass, info *types.Info, body *ast.BlockStmt, writers map[types.Object]bool) {
+	isW := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			obj = info.Defs[id]
+		}
+		return obj != nil && writers[obj]
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		var call *ast.CallExpr
+		switch stmt := n.(type) {
+		case *ast.ExprStmt:
+			call, _ = stmt.X.(*ast.CallExpr)
+		case *ast.AssignStmt:
+			if len(stmt.Rhs) == 1 && allBlank(stmt.Lhs) {
+				call, _ = stmt.Rhs[0].(*ast.CallExpr)
+			}
+		}
+		if call == nil {
+			return true
+		}
+		if enc, ok := encoderOnWriter(info, call, isW); ok {
+			pass.Reportf(enc.Lparen, "json encode error dropped on the response path; check it (the client may receive a truncated body)")
+		}
+		return true
+	})
+}
+
+// allBlank reports whether every assignment target is the blank
+// identifier.
+func allBlank(lhs []ast.Expr) bool {
+	for _, e := range lhs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}
+
+// computeHTTPFacts fills the summary's per-parameter must-write and
+// must-commit bits for http.ResponseWriter parameters: a bit is set when
+// every path from entry to exit passes through a response event on that
+// parameter. Events in the entry block trivially dominate; otherwise the
+// check is CFG reachability with event blocks removed.
+func (ip *Interp) computeHTTPFacts(s *Summary, info *types.Info, decl *ast.FuncDecl) {
+	params := paramObjects(info, decl)
+	for i, p := range params {
+		if p == nil || i >= 64 || !isResponseWriter(p.Type()) {
+			continue
+		}
+		events := collectHTTPEvents(ip, func(f *types.Func) *Summary { return ip.summaries[f] },
+			info, decl.Body, func(e ast.Expr) bool {
+				id, ok := ast.Unparen(e).(*ast.Ident)
+				if !ok {
+					return false
+				}
+				obj := info.Uses[id]
+				if obj == nil {
+					obj = info.Defs[id]
+				}
+				return obj == p
+			})
+		if len(events) == 0 {
+			continue
+		}
+		g := BuildCFG(decl.Body)
+		if mustPass(g, events, func(k httpEventKind) bool { return k == httpCommit || k == httpTerminal }) {
+			s.HTTPMustCommit |= 1 << uint(i)
+		}
+		if mustPass(g, events, func(k httpEventKind) bool { return k == httpWrite || k == httpTerminal }) {
+			s.HTTPMustWrite |= 1 << uint(i)
+		}
+	}
+}
+
+// mustPass reports whether every entry→exit path hits a block holding an
+// event of the selected kinds.
+func mustPass(g *CFG, events []httpEvent, want func(httpEventKind) bool) bool {
+	eventBlocks := map[*Block]bool{}
+	any := false
+	for _, e := range events {
+		if !want(e.kind) {
+			continue
+		}
+		any = true
+		if blk := g.BlockOf(e.call); blk != nil {
+			if blk == g.Entry {
+				// Entry-block statements run on every execution.
+				return true
+			}
+			eventBlocks[blk] = true
+		}
+	}
+	if !any {
+		return false
+	}
+	return !g.Reaches(g.Entry, g.Exit, func(b *Block) bool { return eventBlocks[b] })
+}

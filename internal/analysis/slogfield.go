@@ -1,0 +1,310 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// SlogField enforces structured-logging discipline on log/slog call sites:
+//
+//   - the message must be a constant string — dynamic data belongs in
+//     key/value fields, where it stays machine-parseable and the message
+//     stays greppable;
+//   - the trailing arguments must form well-paired fields: slog.Attr
+//     values consume one slot, everything else is a string key followed by
+//     a value, and a dangling key silently logs as !BADKEY at runtime;
+//   - a key-position argument must be a string (or an Attr).
+//
+// The check is interprocedural through logging helpers: a module function
+// that forwards a parameter as the slog message (or its variadic
+// parameter as the field list) inherits the same obligations at its own
+// call sites — wrapping slog.Info in a helper does not launder a dynamic
+// message, and inside the helper the forwarded parameter itself is not
+// flagged.
+var SlogField = &Analyzer{
+	Name: "slogfield",
+	Doc:  "flags non-constant slog messages, unpaired key/value fields, and non-string keys, through logging helpers",
+	Run:  runSlogField,
+}
+
+func runSlogField(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkSlogCall(pass, call, enclosingFuncParams(pass, f, call.Pos()))
+			return true
+		})
+	}
+}
+
+// slogCallShape describes where a call's message and field arguments sit.
+type slogCallShape struct {
+	msgIdx int // index of the message argument, -1 if none
+	kvIdx  int // index where key/value fields start, -1 if none
+	name   string
+}
+
+// slogDirectShape classifies direct log/slog calls: the package-level
+// leveled functions, their *Context variants, Log, and the same methods on
+// slog.Logger.
+func slogDirectShape(info *types.Info, call *ast.CallExpr) (slogCallShape, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return slogCallShape{}, false
+	}
+	var fn *types.Func
+	if obj, ok := info.Uses[sel.Sel].(*types.Func); ok {
+		fn = obj
+	}
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "log/slog" {
+		return slogCallShape{}, false
+	}
+	name := fn.Name()
+	switch name {
+	case "Info", "Debug", "Warn", "Error":
+		return slogCallShape{msgIdx: 0, kvIdx: 1, name: "slog." + name}, true
+	case "InfoContext", "DebugContext", "WarnContext", "ErrorContext":
+		return slogCallShape{msgIdx: 1, kvIdx: 2, name: "slog." + name}, true
+	case "Log":
+		return slogCallShape{msgIdx: 2, kvIdx: 3, name: "slog.Log"}, true
+	case "With":
+		return slogCallShape{msgIdx: -1, kvIdx: 0, name: "slog.With"}, true
+	}
+	return slogCallShape{}, false
+}
+
+// checkSlogCall applies the message and pairing checks to one call —
+// direct slog calls and calls to module logging helpers alike. params are
+// the enclosing function's parameter objects, used to recognize forwarded
+// parameters (the helper's own obligation lives at its call sites).
+func checkSlogCall(pass *Pass, call *ast.CallExpr, params []types.Object) {
+	info := pass.Pkg.Info
+	shape, ok := slogDirectShape(info, call)
+	if !ok {
+		shape, ok = slogHelperShape(pass, call)
+	}
+	if !ok {
+		return
+	}
+	if shape.msgIdx >= 0 && shape.msgIdx < len(call.Args) {
+		msg := call.Args[shape.msgIdx]
+		if !isConstString(info, msg) && !isParamForward(info, msg, params) {
+			pass.Reportf(msg.Pos(), "non-constant message in %s call; use a constant message and carry the data in key/value fields", shape.name)
+		}
+	}
+	if shape.kvIdx >= 0 && shape.kvIdx < len(call.Args) {
+		fields := call.Args[shape.kvIdx:]
+		if call.Ellipsis.IsValid() {
+			// kvs... forwarding: pairing is the callee's obligation when the
+			// slice is built here, and this site's obligation only for
+			// literal fields — a spread slice has unknown shape.
+			return
+		}
+		checkSlogFields(pass, shape.name, fields, params)
+	}
+}
+
+// checkSlogFields validates the key/value tail of a slog call.
+func checkSlogFields(pass *Pass, name string, fields []ast.Expr, params []types.Object) {
+	info := pass.Pkg.Info
+	for i := 0; i < len(fields); {
+		f := fields[i]
+		if isSlogAttr(info, f) {
+			i++
+			continue
+		}
+		if isParamForward(info, f, params) && i == len(fields)-1 {
+			// A forwarded variadic parameter in the last slot: the shape is
+			// the call sites' obligation (slogHelperShape records the fact).
+			return
+		}
+		if !isStringExpr(info, f) {
+			pass.Reportf(f.Pos(), "%s key is not a string (type %s); keys must be string constants or slog.Attr values", name, typeName(info, f))
+			i++
+			continue
+		}
+		if i == len(fields)-1 {
+			pass.Reportf(f.Pos(), "odd number of field arguments to %s: key %s has no value and logs as !BADKEY", name, exprText(pass.Pkg.Fset, f))
+			return
+		}
+		i += 2
+	}
+}
+
+// slogHelperShape classifies calls to intra-module logging helpers via the
+// summary layer's forwarded-parameter facts.
+func slogHelperShape(pass *Pass, call *ast.CallExpr) (slogCallShape, bool) {
+	ip := pass.Pkg.Interp()
+	if ip == nil {
+		return slogCallShape{}, false
+	}
+	t := ResolveCall(pass.Pkg.Info, call)
+	if t.Static == nil || !ip.intraModule(t.Static) {
+		return slogCallShape{}, false
+	}
+	s := ip.SummaryOf(t.Static)
+	if s == nil || (s.SlogMsgParam == 0 && s.SlogKVParam == 0) {
+		return slogCallShape{}, false
+	}
+	return slogCallShape{
+		msgIdx: s.SlogMsgParam - 1,
+		kvIdx:  s.SlogKVParam - 1,
+		name:   "logging helper " + ip.displayName(t.Static),
+	}, true
+}
+
+// computeSlogFacts records which of decl's parameters flow into slog
+// message or field positions — directly or through another helper whose
+// facts are already in the (possibly partial) summary table. The facts
+// only ever move from 0 to a fixed index, so the SCC fixpoint converges.
+func (ip *Interp) computeSlogFacts(s *Summary, info *types.Info, decl *ast.FuncDecl) {
+	params := paramObjects(info, decl)
+	if len(params) == 0 {
+		return
+	}
+	paramIndex := func(e ast.Expr) int {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return -1
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			obj = info.Defs[id]
+		}
+		for i, p := range params {
+			if p != nil && p == obj {
+				return i
+			}
+		}
+		return -1
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		shape, ok := slogDirectShape(info, call)
+		if !ok {
+			// Helper-to-helper forwarding through the partial table.
+			t := ResolveCall(info, call)
+			if t.Static == nil || !ip.intraModule(t.Static) {
+				return true
+			}
+			cs := ip.summaries[t.Static]
+			if cs == nil || (cs.SlogMsgParam == 0 && cs.SlogKVParam == 0) {
+				return true
+			}
+			shape = slogCallShape{msgIdx: cs.SlogMsgParam - 1, kvIdx: cs.SlogKVParam - 1}
+		}
+		if shape.msgIdx >= 0 && shape.msgIdx < len(call.Args) && s.SlogMsgParam == 0 {
+			if i := paramIndex(call.Args[shape.msgIdx]); i >= 0 {
+				s.SlogMsgParam = i + 1
+			}
+		}
+		if shape.kvIdx >= 0 && shape.kvIdx < len(call.Args) && s.SlogKVParam == 0 {
+			last := call.Args[len(call.Args)-1]
+			if call.Ellipsis.IsValid() || len(call.Args)-1 == shape.kvIdx {
+				if i := paramIndex(last); i >= 0 && isVariadicAnyParam(params[i]) {
+					s.SlogKVParam = i + 1
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isVariadicAnyParam reports whether the parameter is a ...any slot (its
+// declared type is []any / []interface{}).
+func isVariadicAnyParam(p types.Object) bool {
+	if p == nil {
+		return false
+	}
+	sl, ok := p.Type().Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	iface, ok := sl.Elem().Underlying().(*types.Interface)
+	return ok && iface.NumMethods() == 0
+}
+
+// enclosingFuncParams resolves the parameter objects of the innermost
+// function declaration containing pos (function literals are treated as
+// having no forwardable parameters — helper facts are declaration-level).
+func enclosingFuncParams(pass *Pass, f *ast.File, pos token.Pos) []types.Object {
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		if fn.Body.Pos() <= pos && pos < fn.Body.End() {
+			return paramObjects(pass.Pkg.Info, fn)
+		}
+	}
+	return nil
+}
+
+// isConstString reports whether e is a compile-time constant string.
+func isConstString(info *types.Info, e ast.Expr) bool {
+	v := info.Types[e].Value
+	return v != nil && v.Kind() == constant.String
+}
+
+// isParamForward reports whether e is one of the enclosing function's
+// parameters.
+func isParamForward(info *types.Info, e ast.Expr, params []types.Object) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	for _, p := range params {
+		if p != nil && p == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// isSlogAttr reports whether the expression's type is log/slog.Attr.
+func isSlogAttr(info *types.Info, e ast.Expr) bool {
+	t := info.Types[e].Type
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "log/slog" && obj.Name() == "Attr"
+}
+
+// isStringExpr reports whether the expression has a string type.
+func isStringExpr(info *types.Info, e ast.Expr) bool {
+	t := info.Types[e].Type
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// typeName renders an expression's type for diagnostics.
+func typeName(info *types.Info, e ast.Expr) string {
+	t := info.Types[e].Type
+	if t == nil {
+		return "unknown"
+	}
+	return t.String()
+}

@@ -73,6 +73,31 @@ type Summary struct {
 	FatalWhat string
 	FatalPos  token.Pos
 	FatalVia  *types.Func
+
+	// HTTPMustWrite / HTTPMustCommit: per-parameter response-discipline
+	// facts for http.ResponseWriter parameters (bit i ↔ parameter i).
+	// MustCommit: every path through the body commits the response status
+	// via that parameter (WriteHeader or an http.Error-class helper).
+	// MustWrite: every path writes response bytes through it. These are
+	// must-facts, not may-facts, but they are still monotone under the
+	// optimistic all-false seed: discovering more events only makes "every
+	// path hits one" easier, so the SCC fixpoint converges upward like the
+	// booleans above. A helper that merely MAY write (serve's admit, which
+	// rejects-and-writes or declines silently) keeps zero bits, which is
+	// what keeps httpdiscipline from flagging guarded helper-then-write
+	// call sequences.
+	HTTPMustWrite  uint64
+	HTTPMustCommit uint64
+
+	// SlogMsgParam / SlogKVParam: 1-based parameter indices (0 = none —
+	// the encoding matters because Tarjan seeds cycles with zero
+	// Summaries, and parameter 0 must not look forwarded by default).
+	// MsgParam: the function forwards that parameter as a slog message,
+	// so call sites owe it a constant string. KVParam: the function
+	// forwards that variadic parameter as slog key/value arguments, so
+	// call sites owe it well-formed pairs.
+	SlogMsgParam int
+	SlogKVParam  int
 }
 
 func (s *Summary) equal(o *Summary) bool {
@@ -198,6 +223,8 @@ func (ip *Interp) compute(f *types.Func) *Summary {
 	// A local that was sorted anywhere in the body is order-clean; the
 	// flow-insensitive approximation can only under-report OrderedReturn
 	// for sort-then-append-again shapes, which do not occur here.
+	ip.computeHTTPFacts(s, info, decl)
+	ip.computeSlogFacts(s, info, decl)
 	return s
 }
 

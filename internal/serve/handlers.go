@@ -134,6 +134,10 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, err)
 		return
 	}
+	rl := requestLog(r.Context())
+	if rl != nil {
+		rl.pattern = patternString(cfg.StructureHash())
+	}
 	jctx, cancel := context.WithTimeout(r.Context(), s.deadline(r, req.DeadlineMS))
 	defer cancel()
 	// A drain that runs out of patience force-cancels in-flight work by
@@ -148,6 +152,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	<-j.done
+	if rl != nil {
+		rl.breaker = out.mode.String()
+		if out.res != nil && out.res.Report != nil {
+			rl.rung = out.res.Report.FinalBackend
+		}
+	}
 	s.writeSolve(w, cfg, out)
 }
 
@@ -258,6 +268,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if len(req.Caps) == 0 {
 		s.badRequest(w, fmt.Errorf("sweep request has no caps"))
 		return
+	}
+	if rl := requestLog(r.Context()); rl != nil {
+		rl.pattern = patternString(cfg.StructureHash())
 	}
 	jctx, cancel := context.WithTimeout(r.Context(), s.deadline(r, req.DeadlineMS))
 	defer cancel()
@@ -413,6 +426,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.WriteHeader(status)
 	// Encoding errors past WriteHeader cannot be reported to the client;
 	// the types marshaled here cannot fail.
+	//bbvet:allow httpdiscipline status already committed, nothing to tell the client; the wire types marshal infallibly
 	_ = json.NewEncoder(w).Encode(v)
 }
 

@@ -33,6 +33,7 @@ package serve
 
 import (
 	"context"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync/atomic"
@@ -69,6 +70,10 @@ type Config struct {
 	// (factorization backend, tolerances, sweep parallelism). The pattern
 	// cache field is overridden by the server's shared cache.
 	Solve core.Options
+	// Logger receives one structured line per completed request (route,
+	// status, latency, queue pressure, graph pattern, ladder rung). Nil
+	// disables request logging.
+	Logger *slog.Logger
 }
 
 // withDefaults resolves the zero values.
@@ -102,6 +107,8 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg      Config
 	mux      *http.ServeMux
+	handler  http.Handler
+	log      *slog.Logger
 	pool     *pool
 	cache    *socp.PatternCache
 	patterns *patternTable
@@ -147,14 +154,20 @@ func New(cfg Config) *Server {
 		lat:      newLatency(cfg.LatencyWindow),
 		start:    time.Now(),
 	}
+	s.log = cfg.Logger
+	if s.log == nil {
+		s.log = slog.New(slog.DiscardHandler)
+	}
 	s.forceCtx, s.forceCancel = context.WithCancel(context.Background())
 	s.mux = http.NewServeMux()
 	s.routes()
+	s.handler = s.logRequests(s.mux)
 	return s
 }
 
-// Handler returns the daemon's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the daemon's HTTP handler: the route table wrapped in
+// the per-request structured-logging middleware.
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Ready reports whether the server is admitting work (false once drain
 // begins); /readyz renders it.

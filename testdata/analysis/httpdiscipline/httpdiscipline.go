@@ -1,0 +1,97 @@
+// Package httpdiscipline is the analyzer fixture for response-writing
+// discipline: status committed at most once, no body bytes after a
+// completed error response, and no dropped response-path encode errors.
+package httpdiscipline
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// doubleCommit sets the status twice on one path.
+func doubleCommit(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusAccepted)
+	w.WriteHeader(http.StatusOK) // want `WriteHeader commits the response status after WriteHeader already committed it`
+}
+
+// commitAfterWrite sets the status after the body already started, which
+// implicitly committed 200.
+func commitAfterWrite(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprintln(w, "hello")
+	w.WriteHeader(http.StatusTeapot) // want `WriteHeader commits the response status after fmt.Fprintln already implicitly committed it`
+}
+
+// missingReturn is the classic error-path bug: http.Error completes the
+// response, and the fallthrough appends payload junk to it.
+func missingReturn(w http.ResponseWriter, r *http.Request, bad bool) {
+	if bad {
+		http.Error(w, "bad request", http.StatusBadRequest)
+	}
+	fmt.Fprintln(w, "payload") // want `fmt.Fprintln writes body bytes after http.Error completed the response`
+}
+
+// droppedEncode discards the response-path encode error.
+func droppedEncode(w http.ResponseWriter, v any) {
+	_ = json.NewEncoder(w).Encode(v) // want `json encode error dropped on the response path`
+}
+
+// respond commits and writes on every path: a must-commit, must-write
+// helper in the summary layer.
+func respond(w http.ResponseWriter, status int, body string) {
+	w.WriteHeader(status)
+	fmt.Fprintln(w, body)
+}
+
+// helperTwice double-commits through the helper: the summary's must-facts
+// make both calls commit events.
+func helperTwice(w http.ResponseWriter, r *http.Request) {
+	respond(w, http.StatusOK, "first")
+	respond(w, http.StatusOK, "second") // want `call to respond commits the response status after call to respond already committed it`
+}
+
+// admit writes only on rejection — a may-write guard, not a must-write
+// helper — so guarded call sequences stay clean.
+func admit(w http.ResponseWriter, ok bool) error {
+	if !ok {
+		http.Error(w, "rejected", http.StatusTooManyRequests)
+		return fmt.Errorf("rejected")
+	}
+	return nil
+}
+
+// guardedHandler is the admission-control shape the serve layer uses: the
+// guard may have written, but only on the path that returns early.
+func guardedHandler(w http.ResponseWriter, r *http.Request, ok bool) {
+	if admit(w, ok) != nil {
+		return
+	}
+	respond(w, http.StatusOK, "accepted")
+}
+
+// branchCommits commits exactly once per path: mutually exclusive commits
+// are legal.
+func branchCommits(w http.ResponseWriter, r *http.Request, found bool) {
+	if !found {
+		http.NotFound(w, r)
+		return
+	}
+	respond(w, http.StatusOK, "found")
+}
+
+// statusThenBody is the normal order: one commit, then body bytes.
+func statusThenBody(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusCreated)
+	fmt.Fprintln(w, "created")
+	if err := json.NewEncoder(w).Encode(map[string]int{"n": 1}); err != nil {
+		return
+	}
+}
+
+// deliberateProbe re-commits on purpose — a connectivity probe that wants
+// net/http's superfluous-WriteHeader log line as its own signal.
+func deliberateProbe(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	//bbvet:allow httpdiscipline probe endpoint wants the runtime superfluous-WriteHeader log as a canary
+	w.WriteHeader(http.StatusOK)
+}

@@ -1,0 +1,61 @@
+// Package slogfield is the analyzer fixture for structured-logging
+// discipline: constant messages, well-paired key/value fields, string
+// keys, and the same obligations through module logging helpers.
+package slogfield
+
+import (
+	"context"
+	"log/slog"
+)
+
+func dynamicMessage(name string) {
+	slog.Info("solve finished", "task", name)
+	slog.Info("solve finished for " + name) // want `non-constant message in slog.Info call`
+}
+
+func danglingKey(d int) {
+	slog.Warn("queue saturated", "depth", d, "route") // want `odd number of field arguments to slog.Warn: key "route" has no value and logs as !BADKEY`
+}
+
+func nonStringKey(d int) {
+	slog.Error("bad key", 42, d) // want `slog.Error key is not a string \(type int\)`
+}
+
+func contextVariant(ctx context.Context, why string) {
+	text := "failed: " + why
+	slog.ErrorContext(ctx, text, "attempt", 1) // want `non-constant message in slog.ErrorContext call`
+}
+
+func methodCall(l *slog.Logger, d int) {
+	l.Debug("drain started", "pending", d)
+	l.Debug("drain started", "pending") // want `odd number of field arguments to slog.Debug`
+}
+
+// logf is a module logging helper: msg and kvs forward into slog.Info, so
+// its call sites carry the constant-message and pairing obligations — and
+// the forwarded parameters themselves are exempt here.
+func logf(msg string, kvs ...any) {
+	slog.Info(msg, kvs...)
+}
+
+// logf2 forwards through logf: facts propagate helper-to-helper.
+func logf2(msg string, kvs ...any) {
+	logf(msg, kvs...)
+}
+
+func helperCallSites(name string) {
+	logf("budget computed", "graph", name)
+	logf("budget computed for " + name) // want `non-constant message in logging helper .*logf call`
+	logf2("sweep done", "rung", 3)
+	logf2("sweep done", "rung") // want `odd number of field arguments to logging helper .*logf2`
+}
+
+func attrsAndPairs(name string, err error) {
+	slog.Info("checkpoint", slog.String("graph", name), "attempt", 1)
+	slog.Error("solve failed", slog.Any("err", err))
+}
+
+func migration(legacy string) {
+	//bbvet:allow slogfield message mirrors the legacy text-log line verbatim during the cutover
+	slog.Info(legacy)
+}
